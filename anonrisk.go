@@ -1,0 +1,242 @@
+package anonrisk
+
+import (
+	"io"
+	"math/rand"
+
+	"repro/internal/anonymize"
+	"repro/internal/belief"
+	"repro/internal/bipartite"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/fim"
+	"repro/internal/matching"
+	"repro/internal/recipe"
+)
+
+// Re-exported core types. The aliases make the public API self-contained
+// while keeping each concern implemented (and documented in depth) in its
+// own internal package.
+type (
+	// Database is a transaction database over a dense item universe.
+	Database = dataset.Database
+	// Transaction is one itemset of a database.
+	Transaction = dataset.Transaction
+	// FrequencyTable is the support-count view of a database — all the
+	// paper's risk analyses depend on the data only through it.
+	FrequencyTable = dataset.FrequencyTable
+	// Stats is a Figure 9-style frequency summary.
+	Stats = dataset.Stats
+
+	// BeliefFunction models the hacker's partial information: a frequency
+	// interval per original item.
+	BeliefFunction = belief.Function
+	// Interval is a closed frequency range.
+	Interval = belief.Interval
+
+	// Mapping is a secret anonymization bijection.
+	Mapping = anonymize.Mapping
+	// CrackMapping is a hacker's 1-1 de-anonymization guess.
+	CrackMapping = anonymize.CrackMapping
+
+	// Graph is the bipartite consistency graph between anonymized and
+	// original items induced by a belief function.
+	Graph = bipartite.Graph
+
+	// Assessment is the outcome of the Assess-Risk recipe.
+	Assessment = recipe.Result
+	// AssessOptions configures the recipe.
+	AssessOptions = recipe.Options
+
+	// FrequentItemset pairs an itemset with its support.
+	FrequentItemset = fim.FrequentItemset
+)
+
+// NewDatabase builds a database over n items; see dataset.New.
+func NewDatabase(n int, txs []Transaction) (*Database, error) { return dataset.New(n, txs) }
+
+// ReadFIMI parses a FIMI-format database (one transaction per line).
+func ReadFIMI(r io.Reader) (*Database, error) { return dataset.ReadFIMI(r, 0) }
+
+// WriteFIMI writes a database in FIMI format.
+func WriteFIMI(w io.Writer, db *Database) error { return dataset.WriteFIMI(w, db) }
+
+// ComputeStats summarizes a database's frequency structure as in Figure 9.
+func ComputeStats(name string, db *Database) Stats {
+	return dataset.ComputeStats(name, db.Table())
+}
+
+// Anonymize draws a uniformly random anonymization bijection and applies it,
+// returning the releasable database and the secret key. The release has
+// identical support structure and — by the commutation of mining with
+// renaming — identical frequent itemsets up to the key.
+func Anonymize(db *Database, rng *rand.Rand) (release *Database, key *Mapping, err error) {
+	key = anonymize.NewRandomMapping(db.Items(), rng)
+	release, err = key.Apply(db)
+	if err != nil {
+		return nil, nil, err
+	}
+	return release, key, nil
+}
+
+// AssessRisk runs Algorithm Assess-Risk (Figure 8) on the database with
+// tolerance tau and default settings (5 subset runs, propagation on,
+// comfort level 0.5). Use AssessRiskOptions for full control.
+func AssessRisk(db *Database, tau float64, rng *rand.Rand) (*Assessment, error) {
+	return recipe.AssessRisk(db.Table(), recipe.Options{
+		Tolerance: tau,
+		Propagate: true,
+		Rng:       rng,
+	})
+}
+
+// AssessRiskOptions runs the recipe with explicit options.
+func AssessRiskOptions(db *Database, opts AssessOptions) (*Assessment, error) {
+	return recipe.AssessRisk(db.Table(), opts)
+}
+
+// NewBelief builds a belief function from one frequency interval per item.
+func NewBelief(intervals []Interval) (*BeliefFunction, error) { return belief.New(intervals) }
+
+// Ignorant returns the no-knowledge belief function over n items (every
+// interval [0,1]; expected cracks exactly 1 by Lemma 1).
+func Ignorant(n int) *BeliefFunction { return belief.Ignorant(n) }
+
+// ExactKnowledge returns the compliant point-valued belief function for a
+// database: the hacker knows every frequency exactly (expected cracks = the
+// number of distinct frequencies, Lemma 3).
+func ExactKnowledge(db *Database) *BeliefFunction {
+	return belief.PointValued(db.Frequencies())
+}
+
+// BallparkKnowledge returns the compliant interval belief function the
+// recipe uses: every item's frequency guessed within ±delta. Pass delta <= 0
+// to use δ_med, the database's median frequency-group gap.
+func BallparkKnowledge(db *Database, delta float64) *BeliefFunction {
+	if delta <= 0 {
+		delta = dataset.GroupItems(db.Table()).MedianGap()
+	}
+	return belief.UniformWidth(db.Frequencies(), delta)
+}
+
+// BeliefFromSample builds the hacker's belief function from a sample of the
+// data (Section 7.4): intervals of half-width equal to the sample's median
+// frequency-group gap around the sampled frequencies.
+func BeliefFromSample(sample *Database) *BeliefFunction {
+	st := sample.Table()
+	return belief.FromSample(st.Frequencies(), dataset.GroupItems(st).MedianGap())
+}
+
+// ConsistencyGraph builds the bipartite graph of consistent crack mappings
+// for a belief function against the database's observed frequencies.
+func ConsistencyGraph(bf *BeliefFunction, db *Database) (*Graph, error) {
+	return bipartite.Build(bf, dataset.GroupItems(db.Table()))
+}
+
+// Attack quantifies what a hacker holding bf achieves against the database's
+// anonymized release: the O-estimate of expected cracks and, when simulate is
+// true, a matching-space simulation estimate with its standard deviation.
+//
+// The O-estimate applies degree-1 propagation when the consistency graph
+// admits a perfect matching. When it does not — common for partially wrong
+// (α-compliant) belief functions — the report's Infeasible flag is set, the
+// O-estimate falls back to the paper's Section 5.3 per-item form
+// Σ_{compliant} 1/O_x (which needs no global matching), and simulation is
+// skipped.
+func Attack(bf *BeliefFunction, db *Database, simulate bool, rng *rand.Rand) (AttackReport, error) {
+	ft := db.Table()
+	rep := AttackReport{Items: ft.NItems}
+	oe, err := core.OEstimate(bf, ft, core.OEOptions{Propagate: true})
+	if err == bipartite.ErrInfeasible {
+		rep.Infeasible = true
+		oe, err = core.OEstimate(bf, ft, core.OEOptions{})
+	}
+	if err != nil {
+		return rep, err
+	}
+	rep.OEstimate = oe.Value
+	rep.ForcedCracks = oe.Forced
+	if simulate && !rep.Infeasible {
+		g, err := bipartite.Build(bf, dataset.GroupItems(ft))
+		if err != nil {
+			return rep, err
+		}
+		est, err := matching.EstimateCracks(g, matching.Config{}, rng)
+		if err == bipartite.ErrInfeasible {
+			rep.Infeasible = true
+			return rep, nil
+		}
+		if err != nil {
+			return rep, err
+		}
+		rep.Simulated = est.Mean
+		rep.SimulatedStdDev = est.StdDev
+	}
+	return rep, nil
+}
+
+// AttackReport summarizes an Attack run.
+type AttackReport struct {
+	Items           int     // domain size
+	OEstimate       float64 // O-estimate of expected cracks
+	ForcedCracks    int     // propagation-forced assignments (certain knowledge)
+	Simulated       float64 // simulation estimate (0 unless simulate was set)
+	SimulatedStdDev float64
+	// Infeasible marks that no globally consistent perfect matching exists;
+	// OEstimate then carries the Section 5.3 per-item fallback.
+	Infeasible bool
+}
+
+// OEstimateFraction returns the O-estimate as a fraction of the domain.
+func (r AttackReport) OEstimateFraction() float64 { return r.OEstimate / float64(r.Items) }
+
+// AttackSubset is Attack restricted to the owner's items of interest — only
+// the marked items count toward the estimate, the Lemma 2/4 view (e.g. only
+// the top sellers matter). Simulation is not run; interest[x] marks counted
+// items.
+func AttackSubset(bf *BeliefFunction, db *Database, interest []bool, rng *rand.Rand) (AttackReport, error) {
+	ft := db.Table()
+	rep := AttackReport{Items: ft.NItems}
+	oe, err := core.OEstimate(bf, ft, core.OEOptions{Propagate: true, Interest: interest})
+	if err == bipartite.ErrInfeasible {
+		rep.Infeasible = true
+		oe, err = core.OEstimate(bf, ft, core.OEOptions{Interest: interest})
+	}
+	if err != nil {
+		return rep, err
+	}
+	rep.OEstimate = oe.Value
+	rep.ForcedCracks = oe.Forced
+	return rep, nil
+}
+
+// CrackDistribution returns the exact distribution P(X = k) of the number of
+// cracks under the given belief function, by enumerating the consistent
+// crack mappings — feasible for small domains only (the direct method of
+// Section 4.1 is #P-complete).
+func CrackDistribution(bf *BeliefFunction, db *Database) ([]float64, error) {
+	g, err := ConsistencyGraph(bf, db)
+	if err != nil {
+		return nil, err
+	}
+	return core.CrackDistribution(g.ToExplicit())
+}
+
+// ExpectedCracksIgnorant is Lemma 1: exactly 1 for any domain size.
+func ExpectedCracksIgnorant(n int) float64 { return core.ExpectedCracksIgnorant(n) }
+
+// ExpectedCracksExactKnowledge is Lemma 3: the number of distinct observed
+// frequencies of the database.
+func ExpectedCracksExactKnowledge(db *Database) float64 {
+	return core.ExpectedCracksPointValued(dataset.GroupItems(db.Table()))
+}
+
+// MineFrequentItemsets mines all itemsets with at least the given fractional
+// support, using FP-Growth.
+func MineFrequentItemsets(db *Database, minSupportFraction float64) ([]FrequentItemset, error) {
+	abs, err := fim.AbsoluteSupport(db, minSupportFraction)
+	if err != nil {
+		return nil, err
+	}
+	return fim.FPGrowth(db, abs)
+}

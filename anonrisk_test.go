@@ -1,0 +1,301 @@
+package anonrisk
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// bigMartDB reconstructs the paper's Figure 1 example.
+func bigMartDB(t testing.TB) *Database {
+	t.Helper()
+	db, err := NewDatabase(6, []Transaction{
+		{0, 1, 2}, {0, 1, 2}, {0, 1, 3}, {0, 1, 3}, {0, 3, 5},
+		{2, 3, 5}, {2, 4, 5}, {2, 5}, {4, 5}, {3, 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestFIMIRoundTripFacade(t *testing.T) {
+	db := bigMartDB(t)
+	var buf bytes.Buffer
+	if err := WriteFIMI(&buf, db); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFIMI(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Transactions() != db.Transactions() {
+		t.Errorf("round trip lost transactions")
+	}
+	if _, err := ReadFIMI(strings.NewReader("not numbers")); err == nil {
+		t.Error("garbage input: want error")
+	}
+}
+
+func TestAnonymizePreservesMining(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	db := bigMartDB(t)
+	release, key, err := Anonymize(db, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, err := MineFrequentItemsets(db, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anon, err := MineFrequentItemsets(release, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(orig) != len(anon) {
+		t.Fatalf("mining changed under anonymization: %d vs %d itemsets", len(orig), len(anon))
+	}
+	anonKeys := map[string]int{}
+	for _, fs := range anon {
+		anonKeys[fs.Items.Key()] = fs.Support
+	}
+	for _, fs := range orig {
+		img := fs.Items.Map(key.ToAnon)
+		if anonKeys[img.Key()] != fs.Support {
+			t.Errorf("itemset %v: support %d, image has %d", fs.Items, fs.Support, anonKeys[img.Key()])
+		}
+	}
+}
+
+func TestExpectedCracksHelpers(t *testing.T) {
+	db := bigMartDB(t)
+	if got := ExpectedCracksIgnorant(db.Items()); got != 1 {
+		t.Errorf("Lemma 1 helper = %v", got)
+	}
+	if got := ExpectedCracksExactKnowledge(db); got != 3 {
+		t.Errorf("Lemma 3 helper = %v, want 3 (BigMart groups .3/.4/.5)", got)
+	}
+}
+
+func TestBeliefHelpers(t *testing.T) {
+	db := bigMartDB(t)
+	freqs := db.Frequencies()
+	if !Ignorant(6).IsIgnorant() {
+		t.Error("Ignorant helper broken")
+	}
+	if !ExactKnowledge(db).IsPointValued() {
+		t.Error("ExactKnowledge should be point-valued")
+	}
+	bp := BallparkKnowledge(db, 0.05)
+	if !bp.IsCompliant(freqs) {
+		t.Error("BallparkKnowledge must be compliant")
+	}
+	auto := BallparkKnowledge(db, 0)
+	if !auto.IsCompliant(freqs) {
+		t.Error("δ_med BallparkKnowledge must be compliant")
+	}
+	g, err := ConsistencyGraph(bp, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Items() != 6 {
+		t.Errorf("graph over %d items", g.Items())
+	}
+}
+
+func TestBeliefFromSample(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	db := bigMartDB(t)
+	bf := BeliefFromSample(db) // "sample" = whole database: fully compliant
+	if a := bf.Alpha(db.Frequencies()); a != 1 {
+		t.Errorf("full-sample belief alpha = %v, want 1", a)
+	}
+	_ = rng
+}
+
+func TestAttackEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	db := bigMartDB(t)
+
+	// Ignorant hacker: OE = 1.
+	rep, err := Attack(Ignorant(6), db, true, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.OEstimate-1) > 1e-9 {
+		t.Errorf("ignorant OE = %v, want 1", rep.OEstimate)
+	}
+	if math.Abs(rep.Simulated-1) > 0.2 {
+		t.Errorf("ignorant simulated = %v, want ~1", rep.Simulated)
+	}
+
+	// Omniscient hacker: OE = g = 3, with the two singleton groups forced.
+	rep, err = Attack(ExactKnowledge(db), db, true, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.OEstimate-3) > 1e-9 {
+		t.Errorf("exact-knowledge OE = %v, want 3", rep.OEstimate)
+	}
+	if rep.ForcedCracks != 2 {
+		t.Errorf("ForcedCracks = %d, want 2 (items with unique frequencies)", rep.ForcedCracks)
+	}
+	if f := rep.OEstimateFraction(); math.Abs(f-0.5) > 1e-9 {
+		t.Errorf("fraction = %v, want 0.5", f)
+	}
+}
+
+func TestAttackInfeasible(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	db := bigMartDB(t)
+	// All intervals miss every observed frequency.
+	ivs := make([]Interval, 6)
+	for i := range ivs {
+		ivs[i] = Interval{Lo: 0.9, Hi: 0.95}
+	}
+	bf, err := NewBelief(ivs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Attack(bf, db, true, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Infeasible {
+		t.Error("want infeasible attack report")
+	}
+}
+
+func TestAssessRiskFacade(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	// A flat database (single frequency group) discloses immediately.
+	var txs []Transaction
+	for i := 0; i < 20; i++ {
+		txs = append(txs, Transaction{0, 1, 2, 3, 4})
+	}
+	db, err := NewDatabase(5, txs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := AssessRisk(db, 0.3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Disclose {
+		t.Errorf("flat database should disclose: %+v", res)
+	}
+	// Options passthrough.
+	res2, err := AssessRiskOptions(db, AssessOptions{Tolerance: 0.3, Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Disclose {
+		t.Error("options path should agree")
+	}
+}
+
+func TestComputeStatsFacade(t *testing.T) {
+	s := ComputeStats("bigmart", bigMartDB(t))
+	if s.NItems != 6 || s.NGroups != 3 || s.Singleton != 2 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestAttackSubset(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	db := bigMartDB(t)
+	// Interested only in the two uniquely-frequent items (ids 1 and 4).
+	interest := []bool{false, true, false, false, true, false}
+	rep, err := AttackSubset(ExactKnowledge(db), db, interest, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.OEstimate-2) > 1e-9 {
+		t.Errorf("subset OE = %v, want 2 (both singletons cracked)", rep.OEstimate)
+	}
+	// Full interest reduces to Attack.
+	full, err := AttackSubset(ExactKnowledge(db), db, nil, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(full.OEstimate-3) > 1e-9 {
+		t.Errorf("nil interest OE = %v, want 3", full.OEstimate)
+	}
+}
+
+func TestCrackDistributionFacade(t *testing.T) {
+	db := bigMartDB(t)
+	dist, err := CrackDistribution(ExactKnowledge(db), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two singletons always cracked; the 4-group contributes derangement
+	// statistics. Expectation must be 3 (Lemma 3).
+	exp, sum := 0.0, 0.0
+	for k, p := range dist {
+		exp += float64(k) * p
+		sum += p
+	}
+	if math.Abs(exp-3) > 1e-9 {
+		t.Errorf("E from distribution = %v, want 3", exp)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("distribution sums to %v", sum)
+	}
+	if dist[0] != 0 || dist[1] != 0 {
+		t.Errorf("fewer than 2 cracks should be impossible: P(0)=%v P(1)=%v", dist[0], dist[1])
+	}
+}
+
+func TestFacadeErrorPaths(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	db := bigMartDB(t)
+	// Belief over the wrong domain size propagates an error everywhere.
+	wrong := Ignorant(3)
+	if _, err := Attack(wrong, db, false, rng); err == nil {
+		t.Error("Attack with mismatched belief: want error")
+	}
+	if _, err := AttackSubset(wrong, db, nil, rng); err == nil {
+		t.Error("AttackSubset with mismatched belief: want error")
+	}
+	if _, err := AttackSubset(Ignorant(6), db, []bool{true}, rng); err == nil {
+		t.Error("AttackSubset with short interest: want error")
+	}
+	if _, err := CrackDistribution(wrong, db); err == nil {
+		t.Error("CrackDistribution with mismatched belief: want error")
+	}
+	if _, err := MineFrequentItemsets(db, 0); err == nil {
+		t.Error("MineFrequentItemsets with support 0: want error")
+	}
+	if _, err := MineFrequentItemsets(db, 2); err == nil {
+		t.Error("MineFrequentItemsets with support > 1: want error")
+	}
+}
+
+func TestAttackSubsetInfeasibleFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	db := bigMartDB(t)
+	// Items 1 and 4 (the singleton groups) guess a frequency no item has:
+	// their own groups lose all candidates -> no global matching.
+	ivs := []Interval{
+		{Lo: 0.5, Hi: 0.5}, {Lo: 0.9, Hi: 0.95}, {Lo: 0.5, Hi: 0.5},
+		{Lo: 0.5, Hi: 0.5}, {Lo: 0.9, Hi: 0.95}, {Lo: 0.5, Hi: 0.5},
+	}
+	bf, err := NewBelief(ivs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := AttackSubset(bf, db, []bool{true, true, true, true, true, true}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Infeasible {
+		t.Error("want infeasible fallback")
+	}
+	// Per-item §5.3 estimate over the compliant 0.5-group items: 4 × 1/4.
+	if math.Abs(rep.OEstimate-1) > 1e-9 {
+		t.Errorf("fallback OE = %v, want 1", rep.OEstimate)
+	}
+}

@@ -1,0 +1,188 @@
+package anonrisk
+
+// One benchmark per table and figure of the paper's evaluation, each driving
+// the same harness as cmd/experiments (in Quick mode, so `go test -bench=.`
+// stays minutes-scale), plus micro-benchmarks of the core operations whose
+// costs the paper discusses (the O(|D| + n log n) O-estimate, propagation,
+// the matching sampler, and the exponential direct method).
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/belief"
+	"repro/internal/bipartite"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+	"repro/internal/matching"
+	"repro/internal/recipe"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	exp, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep, err := exp.Run(experiments.Config{Seed: int64(i + 1), Quick: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Tables) == 0 {
+			b.Fatal("experiment produced no tables")
+		}
+	}
+}
+
+// BenchmarkTableDelta regenerates the §5.2 chain error table.
+func BenchmarkTableDelta(b *testing.B) { benchExperiment(b, "delta") }
+
+// BenchmarkFigure9 regenerates the benchmark statistics table.
+func BenchmarkFigure9(b *testing.B) { benchExperiment(b, "figure9") }
+
+// BenchmarkFigure10 regenerates the O-estimate accuracy comparison.
+func BenchmarkFigure10(b *testing.B) { benchExperiment(b, "figure10") }
+
+// BenchmarkFigure11 regenerates the compliancy sweep.
+func BenchmarkFigure11(b *testing.B) { benchExperiment(b, "figure11") }
+
+// BenchmarkFigure12 regenerates the similarity-by-sampling curves.
+func BenchmarkFigure12(b *testing.B) { benchExperiment(b, "figure12") }
+
+// BenchmarkRecipe regenerates the §7.3 Assess-Risk walk-through.
+func BenchmarkRecipe(b *testing.B) { benchExperiment(b, "recipe") }
+
+// retailSetup prepares the paper's largest benchmark once per benchmark run.
+func retailSetup(b *testing.B) (*dataset.FrequencyTable, *belief.Function) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	ft, err := datagen.RETAIL.Counts(rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gr := dataset.GroupItems(ft)
+	return ft, belief.UniformWidth(ft.Frequencies(), gr.MedianGap())
+}
+
+// BenchmarkOEstimateRETAIL times the Figure 5 procedure on the 16,470-item
+// RETAIL clone — the paper reports "only a few seconds" on 2005 hardware.
+func BenchmarkOEstimateRETAIL(b *testing.B) {
+	ft, bf := retailSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.OEstimate(bf, ft, core.OEOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPropagationRETAIL times degree-1 propagation (Figure 7) at scale.
+func BenchmarkPropagationRETAIL(b *testing.B) {
+	ft, bf := retailSetup(b)
+	g, err := bipartite.Build(bf, dataset.GroupItems(ft))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Propagate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSamplerSweepRETAIL times one targeted sweep (n proposals) of the
+// matching sampler on the RETAIL clone.
+func BenchmarkSamplerSweepRETAIL(b *testing.B) {
+	ft, bf := retailSetup(b)
+	g, err := bipartite.Build(bf, dataset.GroupItems(ft))
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := matching.NewSampler(g, rand.New(rand.NewSource(2)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.TargetedSweep()
+	}
+}
+
+// BenchmarkAssessRiskCHESS times the full recipe on the CHESS clone.
+func BenchmarkAssessRiskCHESS(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	ft, err := datagen.CHESS.Counts(rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := recipe.AssessRisk(ft, recipe.Options{Tolerance: 0.1, Propagate: true, Rng: rng}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDirectMethod times the permanent-based exact expectation on a
+// 16-vertex graph — the #P-complete wall that motivates the O-estimate.
+func BenchmarkDirectMethod(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	e := bipartite.RandomExplicit(16, 0.4, rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.ExactExpectedCracks(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation regenerates the design-choice ablation tables.
+func BenchmarkAblation(b *testing.B) { benchExperiment(b, "ablation") }
+
+// BenchmarkItemsets regenerates the §8.2 itemset-level extension table.
+func BenchmarkItemsets(b *testing.B) { benchExperiment(b, "itemsets") }
+
+// BenchmarkKanon regenerates the k-anonymization baseline comparison.
+func BenchmarkKanon(b *testing.B) { benchExperiment(b, "kanon") }
+
+// BenchmarkSanitize regenerates the randomization trade-off comparison.
+func BenchmarkSanitize(b *testing.B) { benchExperiment(b, "sanitize") }
+
+// BenchmarkOEstimateScaling reports how the Figure 5 procedure scales with
+// the domain size (the paper: O(|D| + n log n)).
+func BenchmarkOEstimateScaling(b *testing.B) {
+	for _, n := range []int{1000, 4000, 16000, 64000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			m := 4 * n
+			counts := make([]int, n)
+			for i := range counts {
+				counts[i] = rng.Intn(m + 1)
+			}
+			ft, err := dataset.NewTable(m, counts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			gr := dataset.GroupItems(ft)
+			bf := belief.UniformWidth(ft.Frequencies(), gr.MedianGap())
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.OEstimate(bf, ft, core.OEOptions{Propagate: true}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

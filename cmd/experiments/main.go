@@ -1,0 +1,74 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments [-run id[,id...]] [-seed n] [-quick] [-csv dir]
+//
+// With no -run flag every experiment executes in paper order. IDs: delta,
+// figure9, figure10, figure11, figure12, recipe, ablation, itemsets, kanon,
+// sanitize. With -csv, every result table is additionally written as
+// <dir>/<experiment>-<k>.csv for external plotting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "", "experiment id to run (default: all)")
+	seed := flag.Int64("seed", 1, "random seed")
+	quick := flag.Bool("quick", false, "reduced simulation scale")
+	csvDir := flag.String("csv", "", "also write each table as CSV into this directory")
+	flag.Parse()
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+
+	cfg := experiments.Config{Seed: *seed, Quick: *quick}
+	var list []experiments.Experiment
+	if *run == "" {
+		list = experiments.All()
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			e, ok := experiments.ByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q; available:\n", id)
+				for _, e := range experiments.All() {
+					fmt.Fprintf(os.Stderr, "  %-9s %s\n", e.ID, e.Title)
+				}
+				os.Exit(2)
+			}
+			list = append(list, e)
+		}
+	}
+	for _, e := range list {
+		rep, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Println(rep)
+		if *csvDir != "" {
+			for k, tb := range rep.Tables {
+				path := filepath.Join(*csvDir, fmt.Sprintf("%s-%d.csv", rep.ID, k))
+				if err := os.WriteFile(path, []byte(tb.CSV()), 0o644); err != nil {
+					fatal(err)
+				}
+			}
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

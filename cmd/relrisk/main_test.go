@@ -1,0 +1,101 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReadCSV(t *testing.T) {
+	in := "age*,ethnicity\n20,Chinese\n30,Indian\n20,Chinese\n"
+	rel, err := readCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Records() != 3 {
+		t.Fatalf("records = %d", rel.Records())
+	}
+	if !rel.Schema.Attrs[0].Ordered || rel.Schema.Attrs[0].Name != "age" {
+		t.Errorf("attr 0 = %+v, want ordered 'age'", rel.Schema.Attrs[0])
+	}
+	if rel.Schema.Attrs[1].Ordered {
+		t.Error("ethnicity should be unordered")
+	}
+	if rel.Value(0, 0) != rel.Value(2, 0) || rel.Value(0, 0) == rel.Value(1, 0) {
+		t.Error("value interning wrong")
+	}
+	groups := rel.TupleGroups()
+	if len(groups) != 2 {
+		t.Errorf("tuple groups = %d, want 2", len(groups))
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",             // no header
+		"a,b\n1\n",     // short row
+		"a,b\n1,2,3\n", // long row
+		"a,b\n",        // no records
+	}
+	for _, in := range cases {
+		if _, err := readCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("readCSV(%q): want error", in)
+		}
+	}
+	// Blank lines are skipped.
+	rel, err := readCSV(strings.NewReader("a,b\n\n1,2\n\n"))
+	if err != nil || rel.Records() != 1 {
+		t.Errorf("blank-line handling: %v records=%v", err, rel)
+	}
+}
+
+func TestReadKnowledge(t *testing.T) {
+	csv := "age*,ethnicity,car\n20-25,Chinese,Toyota\n30-35,Indian,Honda\n35-40,German,BMW\n"
+	rel, err := readCSV(strings.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	facts := `
+# comments and blanks are fine
+0 ethnicity=Chinese
+0 car=Toyota
+1 age=30-35..35-40
+2 car=Toyota|BMW
+`
+	info, err := readKnowledge(strings.NewReader(facts), rel.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info) != 3 {
+		t.Fatalf("parsed %d individuals, want 3", len(info))
+	}
+	if !info[0].Compliant(rel, 0) || info[0].Compliant(rel, 1) {
+		t.Error("individual 0 knowledge wrong")
+	}
+	if !info[1].Compliant(rel, 1) || info[1].Compliant(rel, 0) {
+		t.Error("individual 1 range wrong")
+	}
+	if !info[2].Compliant(rel, 2) {
+		t.Error("individual 2 one-of wrong")
+	}
+}
+
+func TestReadKnowledgeErrors(t *testing.T) {
+	csv := "age*,car\n20,Toyota\n"
+	rel, err := readCSV(strings.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []string{
+		"nofact\n",
+		"x age=20\n",
+		"0 age\n",
+		"0 nope=20\n",
+		"0 age=19\n",
+		"0 car=20..30\n", // range on unordered attribute
+	}
+	for _, in := range cases {
+		if _, err := readKnowledge(strings.NewReader(in), rel.Schema); err == nil {
+			t.Errorf("readKnowledge(%q): want error", in)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+// Consortium plays out the paper's "mining for the common good" scenario:
+// three regional retailers pool their transaction data to mine richer
+// patterns, releasing the pool under anonymization because any partner may
+// one day be a competitor. Each partner then asks the paper's question from
+// both sides of the table:
+//
+//   - as a data owner: is my contribution safe inside the pooled release?
+//   - as a hacker: my own regional data is "similar data" — how compliant a
+//     belief function does it give me against the pool, and how many of the
+//     pooled items could I re-identify?
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	anonrisk "repro"
+	"repro/internal/datagen"
+	"repro/internal/dataset"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+
+	// Three regions sell from one product catalogue (200 products) to one
+	// underlying customer population: model the market as a single QUEST
+	// process and the regions as random slices of it — region 0 is the
+	// smallest partner, region 2 the largest.
+	const items = 200
+	market, err := datagen.Quest(datagen.QuestConfig{
+		Items:         items,
+		Transactions:  12000,
+		Patterns:      30,
+		PatternsPerTx: 2,
+	}, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	shuffled := rng.Perm(market.Transactions())
+	shares := []int{2000, 4000, 6000}
+	regions := make([]*anonrisk.Database, 3)
+	next := 0
+	for r, share := range shares {
+		txs := make([]anonrisk.Transaction, share)
+		for i := range txs {
+			txs[i] = market.Transaction(shuffled[next])
+			next++
+		}
+		regions[r], err = anonrisk.NewDatabase(items, txs)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Pool the data.
+	pool, err := dataset.Merge(regions...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(anonrisk.ComputeStats("pooled", pool))
+
+	// The consortium's motivation: the small partner's own data misses (and
+	// hallucinates) patterns that the pooled scale settles.
+	poolSets, err := anonrisk.MineFrequentItemsets(pool, 0.04)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r0Sets, err := anonrisk.MineFrequentItemsets(regions[0], 0.04)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r0Keys := map[string]bool{}
+	for _, fs := range r0Sets {
+		r0Keys[fs.Items.Key()] = true
+	}
+	missed := 0
+	for _, fs := range poolSets {
+		if !r0Keys[fs.Items.Key()] {
+			missed++
+		}
+	}
+	fmt.Printf("frequent itemsets at 4%%: pooled %d; region 0 alone misses %d of them and reports %d spurious extras\n\n",
+		len(poolSets), missed, len(r0Sets)-(len(poolSets)-missed))
+
+	// Owner side: the recipe on the pooled release.
+	res, err := anonrisk.AssessRisk(pool, 0.1, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Assess-Risk on the pooled release (τ=0.1): stage=%q α_max=%.2f disclose=%v\n\n",
+		res.Stage, res.AlphaMax, res.Disclose)
+
+	// Hacker side: each partner builds a belief function from its own data
+	// (the paper's strongest realistic threat: a consortium member IS the
+	// similar-data holder) and attacks the pooled release.
+	poolFreqs := pool.Frequencies()
+	for r, db := range regions {
+		st := db.Table()
+		bf := anonrisk.BeliefFromSample(db)
+		alpha := bf.Alpha(poolFreqs)
+		rep, err := anonrisk.Attack(bf, pool, false, rng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		gaps := dataset.GroupItems(st)
+		status := "consistent mappings exist"
+		if rep.Infeasible {
+			status = "no globally consistent mapping; §5.3 per-item estimate"
+		}
+		fmt.Printf("partner %d as hacker (%d own transactions): compliancy α=%.2f (half-width %.5f)\n",
+			r, db.Transactions(), alpha, gaps.MedianGap())
+		fmt.Printf("  expected cracks %.1f of %d pooled items (%.1f%%); %s\n",
+			rep.OEstimate, rep.Items, 100*rep.OEstimateFraction(), status)
+	}
+
+	fmt.Println("\nthe partners' own data makes them far more dangerous than an outsider:")
+	out, err := anonrisk.Attack(anonrisk.Ignorant(items), pool, false, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  an outsider with no prior knowledge expects only %.2f cracks (Lemma 1)\n", out.OEstimate)
+}

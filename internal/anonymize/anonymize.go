@@ -1,0 +1,131 @@
+// Package anonymize implements the anonymization model of Section 2.1 of the
+// SIGMOD 2005 paper: a bijection from the original item domain I to a
+// disjoint anonymized domain J, applied uniformly to every transaction.
+// Anonymization preserves all data characteristics — supports, itemset
+// structure, transaction lengths — which is exactly why the paper asks how
+// safe it really is.
+package anonymize
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dataset"
+)
+
+// Mapping is an anonymization bijection over a domain of n items: item x is
+// released under the pseudonym ToAnon[x] (also an id in [0, n), understood as
+// naming the disjoint anonymized domain J).
+type Mapping struct {
+	ToAnon []int // original -> anonymized
+	ToOrig []int // anonymized -> original
+}
+
+// NewRandomMapping draws a uniformly random anonymization bijection.
+func NewRandomMapping(n int, rng *rand.Rand) *Mapping {
+	m := &Mapping{ToAnon: rng.Perm(n), ToOrig: make([]int, n)}
+	for orig, anon := range m.ToAnon {
+		m.ToOrig[anon] = orig
+	}
+	return m
+}
+
+// NewMapping wraps an explicit permutation (original -> anonymized),
+// validating that it is a bijection on [0, n).
+func NewMapping(perm []int) (*Mapping, error) {
+	n := len(perm)
+	toOrig := make([]int, n)
+	seen := make([]bool, n)
+	for orig, anon := range perm {
+		if anon < 0 || anon >= n || seen[anon] {
+			return nil, fmt.Errorf("anonymize: not a bijection at %d -> %d", orig, anon)
+		}
+		seen[anon] = true
+		toOrig[anon] = orig
+	}
+	return &Mapping{ToAnon: append([]int(nil), perm...), ToOrig: toOrig}, nil
+}
+
+// Items returns the domain size.
+func (m *Mapping) Items() int { return len(m.ToAnon) }
+
+// Apply anonymizes a database: every item of every transaction is replaced
+// with its pseudonym. The transaction order is preserved (the paper's
+// transformation renames items only).
+func (m *Mapping) Apply(db *dataset.Database) (*dataset.Database, error) {
+	if db.Items() != m.Items() {
+		return nil, fmt.Errorf("anonymize: mapping over %d items, database over %d", m.Items(), db.Items())
+	}
+	txs := make([]dataset.Transaction, db.Transactions())
+	for i := range txs {
+		src := db.Transaction(i)
+		dst := make(dataset.Transaction, len(src))
+		for j, x := range src {
+			dst[j] = dataset.Item(m.ToAnon[x])
+		}
+		txs[i] = dst
+	}
+	return dataset.New(db.Items(), txs)
+}
+
+// ApplyTable anonymizes a frequency table: the pseudonym's support count is
+// the original's. This is the invariant the whole paper rests on — observed
+// frequency multisets are preserved by anonymization.
+func (m *Mapping) ApplyTable(ft *dataset.FrequencyTable) (*dataset.FrequencyTable, error) {
+	if ft.NItems != m.Items() {
+		return nil, fmt.Errorf("anonymize: mapping over %d items, table over %d", m.Items(), ft.NItems)
+	}
+	counts := make([]int, ft.NItems)
+	for orig, c := range ft.Counts {
+		counts[m.ToAnon[orig]] = c
+	}
+	return dataset.NewTable(ft.NTransactions, counts)
+}
+
+// CrackMapping is a hacker's 1-1 guess C : J -> I assigning an original item
+// to each anonymized item (Section 2.3).
+type CrackMapping struct {
+	Guess []int // Guess[anon] = guessed original item
+}
+
+// NewCrackMapping validates a guess permutation.
+func NewCrackMapping(guess []int) (*CrackMapping, error) {
+	n := len(guess)
+	seen := make([]bool, n)
+	for anon, orig := range guess {
+		if orig < 0 || orig >= n || seen[orig] {
+			return nil, fmt.Errorf("anonymize: crack mapping not 1-1 at %d -> %d", anon, orig)
+		}
+		seen[orig] = true
+	}
+	return &CrackMapping{Guess: append([]int(nil), guess...)}, nil
+}
+
+// Cracks counts the items whose identity the guess reveals: anonymized items
+// a with Guess[a] equal to the item the owner actually hid behind a.
+func (c *CrackMapping) Cracks(truth *Mapping) (int, error) {
+	if len(c.Guess) != truth.Items() {
+		return 0, fmt.Errorf("anonymize: crack mapping over %d items, truth over %d", len(c.Guess), truth.Items())
+	}
+	cracks := 0
+	for anon, guessed := range c.Guess {
+		if truth.ToOrig[anon] == guessed {
+			cracks++
+		}
+	}
+	return cracks, nil
+}
+
+// CrackedItems lists the original item ids revealed by the guess.
+func (c *CrackMapping) CrackedItems(truth *Mapping) ([]int, error) {
+	if len(c.Guess) != truth.Items() {
+		return nil, fmt.Errorf("anonymize: crack mapping over %d items, truth over %d", len(c.Guess), truth.Items())
+	}
+	var items []int
+	for anon, guessed := range c.Guess {
+		if truth.ToOrig[anon] == guessed {
+			items = append(items, guessed)
+		}
+	}
+	return items, nil
+}

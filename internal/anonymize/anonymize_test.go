@@ -1,0 +1,188 @@
+package anonymize
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataset"
+)
+
+func TestNewMappingValidation(t *testing.T) {
+	if _, err := NewMapping([]int{0, 0}); err == nil {
+		t.Error("duplicate image: want error")
+	}
+	if _, err := NewMapping([]int{0, 2}); err == nil {
+		t.Error("out of range: want error")
+	}
+	m, err := NewMapping([]int{2, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ToOrig[2] != 0 || m.ToOrig[0] != 1 || m.ToOrig[1] != 2 {
+		t.Errorf("inverse wrong: %v", m.ToOrig)
+	}
+}
+
+func TestRandomMappingIsBijection(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(100)
+		m := NewRandomMapping(n, rng)
+		seen := make([]bool, n)
+		for orig, anon := range m.ToAnon {
+			if anon < 0 || anon >= n || seen[anon] || m.ToOrig[anon] != orig {
+				return false
+			}
+			seen[anon] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestApplyPreservesStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	db := dataset.MustNew(5, []dataset.Transaction{
+		{0, 1, 2}, {1, 3}, {0, 4}, {2, 3, 4},
+	})
+	m := NewRandomMapping(5, rng)
+	anon, err := m.Apply(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if anon.Transactions() != db.Transactions() || anon.Size() != db.Size() {
+		t.Fatal("anonymization changed database shape")
+	}
+	// Support multiset is preserved.
+	a, b := db.SupportCounts(), anon.SupportCounts()
+	sort.Ints(a)
+	sort.Ints(b)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("support multiset changed: %v vs %v", a, b)
+		}
+	}
+	// Per-item: pseudonym's count equals original's.
+	origCounts, anonCounts := db.SupportCounts(), anon.SupportCounts()
+	for x := 0; x < 5; x++ {
+		if anonCounts[m.ToAnon[x]] != origCounts[x] {
+			t.Errorf("item %d: count %d, pseudonym has %d", x, origCounts[x], anonCounts[m.ToAnon[x]])
+		}
+	}
+	// Transaction contents map exactly.
+	for i := 0; i < db.Transactions(); i++ {
+		src, dst := db.Transaction(i), anon.Transaction(i)
+		if len(src) != len(dst) {
+			t.Fatalf("transaction %d length changed", i)
+		}
+		want := map[int]bool{}
+		for _, x := range src {
+			want[m.ToAnon[int(x)]] = true
+		}
+		for _, y := range dst {
+			if !want[int(y)] {
+				t.Fatalf("transaction %d: unexpected item %d", i, y)
+			}
+		}
+	}
+}
+
+func TestApplyTableMatchesApply(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	db := dataset.MustNew(6, []dataset.Transaction{
+		{0, 1}, {1, 2, 3}, {4}, {0, 5}, {2, 5},
+	})
+	m := NewRandomMapping(6, rng)
+	viaDB, err := m.Apply(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaTable, err := m.ApplyTable(db.Table())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dbCounts := viaDB.SupportCounts()
+	for x := range dbCounts {
+		if dbCounts[x] != viaTable.Counts[x] {
+			t.Errorf("count[%d]: Apply gives %d, ApplyTable gives %d", x, dbCounts[x], viaTable.Counts[x])
+		}
+	}
+}
+
+func TestApplyDomainMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := NewRandomMapping(4, rng)
+	db := dataset.MustNew(5, []dataset.Transaction{{0}})
+	if _, err := m.Apply(db); err == nil {
+		t.Error("domain mismatch: want error")
+	}
+	if _, err := m.ApplyTable(db.Table()); err == nil {
+		t.Error("table domain mismatch: want error")
+	}
+}
+
+func TestCrackMapping(t *testing.T) {
+	truth, err := NewMapping([]int{1, 2, 0}) // 0->1', 1->2', 2->0'
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Perfect guess: anonymized a maps back to ToOrig[a] = (2,0,1).
+	perfect, err := NewCrackMapping([]int{2, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c, err := perfect.Cracks(truth); err != nil || c != 3 {
+		t.Errorf("perfect guess cracks = %d (%v), want 3", c, err)
+	}
+	items, err := perfect.CrackedItems(truth)
+	if err != nil || len(items) != 3 {
+		t.Errorf("CrackedItems = %v (%v), want all three", items, err)
+	}
+	// A partially right guess.
+	partial, err := NewCrackMapping([]int{2, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c, _ := partial.Cracks(truth); c != 1 {
+		t.Errorf("partial guess cracks = %d, want 1 (only item 2)", c)
+	}
+	if _, err := NewCrackMapping([]int{0, 0, 1}); err == nil {
+		t.Error("non-injective guess: want error")
+	}
+	short, _ := NewCrackMapping([]int{0, 1})
+	if _, err := short.Cracks(truth); err == nil {
+		t.Error("size mismatch: want error")
+	}
+	if _, err := short.CrackedItems(truth); err == nil {
+		t.Error("size mismatch: want error")
+	}
+}
+
+func TestIdentityGuessExpectedCracks(t *testing.T) {
+	// Over many random anonymizations, a fixed guess cracks 1 item on
+	// average (Lemma 1 from the hacker's side).
+	rng := rand.New(rand.NewSource(11))
+	n := 10
+	guess, err := NewCrackMapping(rng.Perm(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const trials = 20000
+	total := 0
+	for i := 0; i < trials; i++ {
+		truth := NewRandomMapping(n, rng)
+		c, err := guess.Cracks(truth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += c
+	}
+	mean := float64(total) / trials
+	if mean < 0.9 || mean > 1.1 {
+		t.Errorf("mean cracks of fixed guess = %v, want ~1", mean)
+	}
+}

@@ -1,0 +1,124 @@
+package belief
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// AlphaCompliant derives an α-compliant belief function from a compliant one
+// (Section 5.3): a uniformly random subset of ⌈(1−α)·n⌉ items is made
+// non-compliant. For the recipe's O-estimate the only thing that matters is
+// *which* items are compliant (non-compliant items simply cannot be cracked
+// by a consistent mapping), but for simulation the non-compliant items also
+// need concrete wrong intervals; MisguideItem supplies them.
+//
+// It returns the perturbed function and the compliant mask. The input
+// function must be compliant on every item it keeps; an error is returned if
+// base is not compliant w.r.t. trueFreqs.
+func AlphaCompliant(base *Function, trueFreqs []float64, alpha float64, rng *rand.Rand) (*Function, []bool, error) {
+	if alpha < 0 || alpha > 1 {
+		return nil, nil, fmt.Errorf("belief: alpha %v outside [0,1]", alpha)
+	}
+	if !base.IsCompliant(trueFreqs) {
+		return nil, nil, fmt.Errorf("belief: base function is not compliant")
+	}
+	n := base.Items()
+	nonCompliant := int(float64(n)*(1-alpha) + 0.5)
+	if nonCompliant > n {
+		nonCompliant = n
+	}
+	out := base.Clone()
+	mask := make([]bool, n)
+	for i := range mask {
+		mask[i] = true
+	}
+	perm := rng.Perm(n)
+	distinct := distinctFreqs(trueFreqs)
+	for _, x := range perm[:nonCompliant] {
+		mask[x] = false
+		out.iv[x] = MisguideItem(base.iv[x], trueFreqs[x], distinct, rng)
+	}
+	return out, mask, nil
+}
+
+// MisguideItem produces a "wrong guess" interval for an item whose true
+// frequency is trueFreq: an interval of the same width as the original guess,
+// re-centred on a different observed frequency, chosen so that it does NOT
+// contain trueFreq. This models a hacker who believes the item sits in the
+// ball-park of some other item. If no such re-centring works (e.g. all
+// frequencies coincide), the empty-ish interval just above or below the truth
+// is used.
+func MisguideItem(orig Interval, trueFreq float64, distinctFreqs []float64, rng *rand.Rand) Interval {
+	halfWidth := (orig.Hi - orig.Lo) / 2
+	// Try a few random other frequencies as the new centre.
+	for attempt := 0; attempt < 16 && len(distinctFreqs) > 1; attempt++ {
+		c := distinctFreqs[rng.Intn(len(distinctFreqs))]
+		cand := Interval{Lo: c - halfWidth, Hi: c + halfWidth}.Clamp()
+		if !cand.Contains(trueFreq) {
+			return cand
+		}
+	}
+	// Deterministic fallback: shift the interval entirely past the truth.
+	shift := 2*halfWidth + 16*Epsilon
+	up := Interval{Lo: trueFreq + shift/2 + 8*Epsilon, Hi: trueFreq + shift/2 + 8*Epsilon + 2*halfWidth}
+	if up.Hi <= 1 {
+		return up.Clamp()
+	}
+	down := Interval{Lo: trueFreq - shift/2 - 8*Epsilon - 2*halfWidth, Hi: trueFreq - shift/2 - 8*Epsilon}
+	return down.Clamp()
+}
+
+func distinctFreqs(freqs []float64) []float64 {
+	s := append([]float64(nil), freqs...)
+	sort.Float64s(s)
+	out := s[:0]
+	for i, f := range s {
+		if i == 0 || f != out[len(out)-1] {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// RefinesAlpha reports whether f ⪯_C g per Definition 9, given each
+// function's compliant mask: (i) f's compliant set is a subset of g's, and
+// (ii) on f's compliant set, g's intervals are contained in f's. Under this
+// order the O-estimate is monotone (Lemma 10): OE(f) ≤ OE(g).
+func RefinesAlpha(f *Function, fMask []bool, g *Function, gMask []bool) bool {
+	if f.Items() != g.Items() {
+		return false
+	}
+	for x := 0; x < f.Items(); x++ {
+		if fMask[x] {
+			if !gMask[x] {
+				return false // (i) fails
+			}
+			if !g.iv[x].Within(f.iv[x]) {
+				return false // (ii) fails
+			}
+		}
+	}
+	return true
+}
+
+// ShrinkCompliantSet returns a copy of mask with half (rounded down) of the
+// currently compliant items switched to non-compliant, chosen uniformly at
+// random. This is the refinement step the recipe's binary search uses
+// (Section 6.2): successive α levels nest, satisfying Lemma 10's partial
+// order.
+func ShrinkCompliantSet(mask []bool, rng *rand.Rand) []bool {
+	var compliant []int
+	for x, ok := range mask {
+		if ok {
+			compliant = append(compliant, x)
+		}
+	}
+	out := append([]bool(nil), mask...)
+	drop := len(compliant) / 2
+	perm := rng.Perm(len(compliant))
+	for _, i := range perm[:drop] {
+		out[compliant[i]] = false
+	}
+	return out
+}

@@ -1,0 +1,275 @@
+// Package belief models the hacker's prior knowledge in the SIGMOD 2005
+// paper "To Do or Not To Do: The Dilemma of Disclosing Anonymized Data".
+//
+// A belief function maps every item x of the original domain to a frequency
+// interval [l, r] ⊆ [0, 1]: the hacker believes x's frequency in the released
+// database lies in that range. Special cases (Section 2.2):
+//
+//   - ignorant: every interval is [0, 1] — the hacker knows nothing;
+//   - point-valued: every interval is a single point;
+//   - interval: at least one interval has l < r;
+//   - compliant: every interval contains the item's true frequency;
+//   - α-compliant: only a fraction α of intervals contain the truth.
+package belief
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Epsilon is the tolerance used for closed-interval containment checks.
+// Frequencies are exact rationals count/m rendered as float64, so a tolerance
+// near machine precision suffices to absorb rounding in interval arithmetic
+// (e.g. f - δ + δ ≠ f).
+const Epsilon = 1e-12
+
+// Interval is a closed frequency range [Lo, Hi] with 0 ≤ Lo ≤ Hi ≤ 1.
+type Interval struct {
+	Lo, Hi float64
+}
+
+// Contains reports whether f lies in the closed interval, with Epsilon slack.
+func (iv Interval) Contains(f float64) bool {
+	return f >= iv.Lo-Epsilon && f <= iv.Hi+Epsilon
+}
+
+// IsPoint reports whether the interval is a single point (width ≤ Epsilon).
+func (iv Interval) IsPoint() bool { return iv.Hi-iv.Lo <= Epsilon }
+
+// Within reports whether iv ⊆ other in the sense of Definition 7:
+// iv.Lo ≥ other.Lo and iv.Hi ≤ other.Hi.
+func (iv Interval) Within(other Interval) bool {
+	return iv.Lo >= other.Lo-Epsilon && iv.Hi <= other.Hi+Epsilon
+}
+
+// Clamp restricts the interval to [0, 1].
+func (iv Interval) Clamp() Interval {
+	return Interval{Lo: math.Max(0, iv.Lo), Hi: math.Min(1, iv.Hi)}
+}
+
+func (iv Interval) String() string {
+	if iv.IsPoint() {
+		return fmt.Sprintf("%.6g", iv.Lo)
+	}
+	return fmt.Sprintf("[%.6g,%.6g]", iv.Lo, iv.Hi)
+}
+
+// Function is a belief function over a domain of n items: one interval per
+// item id 0..n-1.
+type Function struct {
+	iv []Interval
+}
+
+// New builds a belief function from one interval per item. Intervals are
+// clamped to [0, 1]; an error is returned if any interval is inverted.
+func New(intervals []Interval) (*Function, error) {
+	if len(intervals) == 0 {
+		return nil, fmt.Errorf("belief: empty domain")
+	}
+	ivs := make([]Interval, len(intervals))
+	for x, iv := range intervals {
+		if iv.Lo > iv.Hi+Epsilon {
+			return nil, fmt.Errorf("belief: item %d: inverted interval [%v,%v]", x, iv.Lo, iv.Hi)
+		}
+		ivs[x] = iv.Clamp()
+	}
+	return &Function{iv: ivs}, nil
+}
+
+// MustNew is New, panicking on error. Intended for tests and examples.
+func MustNew(intervals []Interval) *Function {
+	f, err := New(intervals)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Items returns the domain size n.
+func (f *Function) Items() int { return len(f.iv) }
+
+// Interval returns item x's belief interval.
+func (f *Function) Interval(x int) Interval { return f.iv[x] }
+
+// Intervals returns a copy of all intervals.
+func (f *Function) Intervals() []Interval {
+	return append([]Interval(nil), f.iv...)
+}
+
+// Contains reports whether item x's interval contains frequency freq.
+func (f *Function) Contains(x int, freq float64) bool { return f.iv[x].Contains(freq) }
+
+// IsIgnorant reports whether every interval is [0, 1].
+func (f *Function) IsIgnorant() bool {
+	for _, iv := range f.iv {
+		if iv.Lo > Epsilon || iv.Hi < 1-Epsilon {
+			return false
+		}
+	}
+	return true
+}
+
+// IsPointValued reports whether every interval is a single point.
+func (f *Function) IsPointValued() bool {
+	for _, iv := range f.iv {
+		if !iv.IsPoint() {
+			return false
+		}
+	}
+	return true
+}
+
+// IsInterval reports whether at least one interval is a true range (l < r).
+func (f *Function) IsInterval() bool { return !f.IsPointValued() }
+
+// CompliantMask reports, per item, whether the belief interval contains the
+// item's true frequency.
+func (f *Function) CompliantMask(trueFreqs []float64) []bool {
+	mask := make([]bool, len(f.iv))
+	for x, iv := range f.iv {
+		mask[x] = iv.Contains(trueFreqs[x])
+	}
+	return mask
+}
+
+// Alpha returns the degree of compliancy: the fraction of items whose belief
+// interval contains the true frequency.
+func (f *Function) Alpha(trueFreqs []float64) float64 {
+	c := 0
+	for x, iv := range f.iv {
+		if iv.Contains(trueFreqs[x]) {
+			c++
+		}
+	}
+	return float64(c) / float64(len(f.iv))
+}
+
+// IsCompliant reports whether every interval contains the true frequency.
+func (f *Function) IsCompliant(trueFreqs []float64) bool {
+	for x, iv := range f.iv {
+		if !iv.Contains(trueFreqs[x]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Refines reports whether f ⊑ g per Definition 7: every interval of f is
+// contained in the corresponding interval of g. A more refined (narrower)
+// belief function represents a better-informed hacker.
+func (f *Function) Refines(g *Function) bool {
+	if len(f.iv) != len(g.iv) {
+		return false
+	}
+	for x := range f.iv {
+		if !f.iv[x].Within(g.iv[x]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy.
+func (f *Function) Clone() *Function {
+	return &Function{iv: append([]Interval(nil), f.iv...)}
+}
+
+// Widen returns a new belief function with every interval widened by delta on
+// both sides (clamped to [0,1]). By Lemma 8, widening never increases the
+// O-estimate.
+func (f *Function) Widen(delta float64) *Function {
+	out := make([]Interval, len(f.iv))
+	for x, iv := range f.iv {
+		out[x] = Interval{Lo: iv.Lo - delta, Hi: iv.Hi + delta}.Clamp()
+	}
+	return &Function{iv: out}
+}
+
+// Ignorant builds the ignorant belief function over n items: every interval
+// is [0, 1]. Per Lemma 1, the expected number of cracks under it is exactly 1.
+func Ignorant(n int) *Function {
+	ivs := make([]Interval, n)
+	for x := range ivs {
+		ivs[x] = Interval{Lo: 0, Hi: 1}
+	}
+	return &Function{iv: ivs}
+}
+
+// PointValued builds the compliant point-valued belief function: the hacker
+// knows every frequency exactly. Per Lemma 3, the expected number of cracks
+// under it equals the number of distinct observed frequencies.
+func PointValued(trueFreqs []float64) *Function {
+	ivs := make([]Interval, len(trueFreqs))
+	for x, fr := range trueFreqs {
+		ivs[x] = Interval{Lo: fr, Hi: fr}
+	}
+	return &Function{iv: ivs}
+}
+
+// UniformWidth builds the compliant interval belief function used by the
+// Assess-Risk recipe (Figure 8, step 5): item x gets [f_x − δ, f_x + δ],
+// clamped to [0, 1].
+func UniformWidth(trueFreqs []float64, delta float64) *Function {
+	ivs := make([]Interval, len(trueFreqs))
+	for x, fr := range trueFreqs {
+		ivs[x] = Interval{Lo: fr - delta, Hi: fr + delta}.Clamp()
+	}
+	return &Function{iv: ivs}
+}
+
+// FromSample builds the sample-derived belief function of Section 7.4
+// (Figure 13): item x gets [f̂_x − δ', f̂_x + δ'] where f̂_x is x's frequency
+// in the hacker's sample and δ' the sample's median frequency-group gap.
+// It is simply UniformWidth applied to sampled frequencies; the distinct name
+// documents intent at call sites.
+func FromSample(sampleFreqs []float64, sampleMedianGap float64) *Function {
+	return UniformWidth(sampleFreqs, sampleMedianGap)
+}
+
+// RandomCompliant builds a random compliant interval belief function for
+// property tests: item x gets an interval containing trueFreqs[x] with
+// independently random slack up to maxSlack on each side.
+func RandomCompliant(trueFreqs []float64, maxSlack float64, rng *rand.Rand) *Function {
+	ivs := make([]Interval, len(trueFreqs))
+	for x, fr := range trueFreqs {
+		ivs[x] = Interval{
+			Lo: fr - rng.Float64()*maxSlack,
+			Hi: fr + rng.Float64()*maxSlack,
+		}.Clamp()
+	}
+	return &Function{iv: ivs}
+}
+
+// Intersect combines two belief functions into the tighter prior a hacker
+// holds after learning both (e.g. own similar data plus a leaked sample):
+// per item, the interval intersection. When some item's intervals are
+// disjoint the sources conflict there; the result keeps an empty-marker
+// interval collapsed to the midpoint boundary and the returned conflict list
+// names the items, so callers can decide whether to trust one source or drop
+// the item from the compliant set (it can no longer be compliant anyway
+// unless one source already was wrong).
+func Intersect(f, g *Function) (*Function, []int, error) {
+	if f.Items() != g.Items() {
+		return nil, nil, fmt.Errorf("belief: domains differ: %d vs %d", f.Items(), g.Items())
+	}
+	out := make([]Interval, f.Items())
+	var conflicts []int
+	for x := range out {
+		a, b := f.iv[x], g.iv[x]
+		lo, hi := math.Max(a.Lo, b.Lo), math.Min(a.Hi, b.Hi)
+		if lo > hi+Epsilon {
+			conflicts = append(conflicts, x)
+			// Collapse to the boundary between the disjoint intervals: a
+			// point certain to be non-compliant with at least one source.
+			mid := (lo + hi) / 2
+			lo, hi = mid, mid
+		}
+		out[x] = Interval{Lo: lo, Hi: hi}
+	}
+	fn, err := New(out)
+	if err != nil {
+		return nil, nil, err
+	}
+	return fn, conflicts, nil
+}

@@ -1,0 +1,345 @@
+package belief
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIntervalContains(t *testing.T) {
+	iv := Interval{Lo: 0.3, Hi: 0.5}
+	for _, tc := range []struct {
+		f    float64
+		want bool
+	}{
+		{0.3, true}, {0.5, true}, {0.4, true},
+		{0.3 - 1e-13, true}, // within Epsilon slack
+		{0.29, false}, {0.51, false}, {0, false}, {1, false},
+	} {
+		if got := iv.Contains(tc.f); got != tc.want {
+			t.Errorf("Contains(%v) = %v, want %v", tc.f, got, tc.want)
+		}
+	}
+}
+
+func TestIntervalWithinAndPoint(t *testing.T) {
+	a := Interval{0.3, 0.5}
+	b := Interval{0.2, 0.6}
+	if !a.Within(b) || b.Within(a) {
+		t.Errorf("Within: a⊆b should hold, b⊆a should not")
+	}
+	if !a.Within(a) {
+		t.Errorf("Within should be reflexive")
+	}
+	if !(Interval{0.4, 0.4}).IsPoint() {
+		t.Error("point interval not detected")
+	}
+	if (Interval{0.4, 0.41}).IsPoint() {
+		t.Error("range interval detected as point")
+	}
+}
+
+func TestIntervalClampAndString(t *testing.T) {
+	iv := Interval{-0.2, 1.3}.Clamp()
+	if iv.Lo != 0 || iv.Hi != 1 {
+		t.Errorf("Clamp = %v, want [0,1]", iv)
+	}
+	if (Interval{0.5, 0.5}).String() != "0.5" {
+		t.Errorf("point String = %q", (Interval{0.5, 0.5}).String())
+	}
+	if (Interval{0.1, 0.5}).String() != "[0.1,0.5]" {
+		t.Errorf("range String = %q", (Interval{0.1, 0.5}).String())
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Error("New(empty): want error")
+	}
+	if _, err := New([]Interval{{0.6, 0.4}}); err == nil {
+		t.Error("New(inverted): want error")
+	}
+	f, err := New([]Interval{{-0.5, 1.5}})
+	if err != nil {
+		t.Fatalf("New(clampable): %v", err)
+	}
+	if iv := f.Interval(0); iv.Lo != 0 || iv.Hi != 1 {
+		t.Errorf("interval not clamped: %v", iv)
+	}
+}
+
+// paperH is the belief function h of Figure 2 (ids 0..5 for items 1..6).
+func paperH() *Function {
+	return MustNew([]Interval{
+		{0, 1}, {0.4, 0.5}, {0.5, 0.5}, {0.4, 0.6}, {0.1, 0.4}, {0.5, 0.5},
+	})
+}
+
+// bigMartFreqs are the true BigMart frequencies (Figure 1).
+var bigMartFreqs = []float64{0.5, 0.4, 0.5, 0.5, 0.3, 0.5}
+
+func TestClassification(t *testing.T) {
+	n := len(bigMartFreqs)
+	f := PointValued(bigMartFreqs)
+	g := Ignorant(n)
+	h := paperH()
+
+	if !f.IsPointValued() || f.IsInterval() || f.IsIgnorant() {
+		t.Error("f should be point-valued, not interval, not ignorant")
+	}
+	if !g.IsIgnorant() || !g.IsInterval() {
+		t.Error("g should be ignorant and interval")
+	}
+	if h.IsIgnorant() || h.IsPointValued() || !h.IsInterval() {
+		t.Error("h should be a non-ignorant interval function")
+	}
+	// f, g, h are all compliant with the true frequencies (Figure 2).
+	for name, fn := range map[string]*Function{"f": f, "g": g, "h": h} {
+		if !fn.IsCompliant(bigMartFreqs) {
+			t.Errorf("%s should be compliant", name)
+		}
+		if a := fn.Alpha(bigMartFreqs); a != 1 {
+			t.Errorf("%s Alpha = %v, want 1", name, a)
+		}
+	}
+}
+
+func TestHalfCompliantK(t *testing.T) {
+	// k of Figure 2 guesses wrong on the first three items: 0.5-compliant.
+	k := MustNew([]Interval{
+		{0.6, 0.7}, {0.1, 0.3}, {0.0, 0.4}, {0.4, 0.6}, {0.1, 0.4}, {0.5, 0.5},
+	})
+	if got := k.Alpha(bigMartFreqs); got != 0.5 {
+		t.Errorf("Alpha(k) = %v, want 0.5", got)
+	}
+	mask := k.CompliantMask(bigMartFreqs)
+	want := []bool{false, false, false, true, true, true}
+	for x := range want {
+		if mask[x] != want[x] {
+			t.Errorf("mask[%d] = %v, want %v", x, mask[x], want[x])
+		}
+	}
+}
+
+func TestRefines(t *testing.T) {
+	f := PointValued(bigMartFreqs)
+	g := Ignorant(len(bigMartFreqs))
+	h := paperH()
+	// Point-valued refines everything compliant built around the same truth.
+	if !f.Refines(g) || !f.Refines(h) || !h.Refines(g) {
+		t.Error("expected f ⊑ h ⊑ g")
+	}
+	if g.Refines(h) || h.Refines(f) {
+		t.Error("refinement should not hold in the widening direction")
+	}
+	if f.Refines(Ignorant(3)) {
+		t.Error("different domain sizes must not refine")
+	}
+}
+
+func TestWiden(t *testing.T) {
+	f := PointValued(bigMartFreqs)
+	w := f.Widen(0.05)
+	if !f.Refines(w) {
+		t.Error("f should refine its widening")
+	}
+	if iv := w.Interval(1); iv.Lo < 0.35-1e-12 || iv.Lo > 0.35+1e-12 || iv.Hi < 0.45-1e-12 || iv.Hi > 0.45+1e-12 {
+		t.Errorf("widened interval = %v, want [0.35,0.45]", iv)
+	}
+	// Widening clamps at the domain boundary.
+	w2 := f.Widen(0.9)
+	if !w2.IsIgnorant() {
+		t.Error("huge widening should reach the ignorant function")
+	}
+}
+
+func TestUniformWidthAndFromSample(t *testing.T) {
+	f := UniformWidth(bigMartFreqs, 0.05)
+	if !f.IsCompliant(bigMartFreqs) {
+		t.Error("UniformWidth must be compliant")
+	}
+	if iv := f.Interval(4); iv.Lo < 0.25-1e-12 || iv.Hi > 0.35+1e-12 {
+		t.Errorf("interval(4) = %v, want [0.25,0.35]", iv)
+	}
+	s := FromSample([]float64{0.52, 0.41, 0.48, 0.5, 0.33, 0.5}, 0.05)
+	if got := s.Alpha(bigMartFreqs); got != 1 {
+		t.Errorf("sample belief Alpha = %v, want 1 (all within 0.05)", got)
+	}
+	s2 := FromSample([]float64{0.8, 0.41, 0.48, 0.5, 0.33, 0.5}, 0.05)
+	if got := s2.Alpha(bigMartFreqs); got != 5.0/6 {
+		t.Errorf("sample belief Alpha = %v, want 5/6", got)
+	}
+}
+
+func TestAlphaCompliant(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	trueFreqs := make([]float64, 100)
+	for i := range trueFreqs {
+		trueFreqs[i] = float64(i+1) / 200
+	}
+	base := UniformWidth(trueFreqs, 0.002)
+	for _, alpha := range []float64{0, 0.25, 0.5, 0.8, 1} {
+		pert, mask, err := AlphaCompliant(base, trueFreqs, alpha, rng)
+		if err != nil {
+			t.Fatalf("AlphaCompliant(%v): %v", alpha, err)
+		}
+		got := pert.Alpha(trueFreqs)
+		if got != alpha {
+			t.Errorf("alpha=%v: perturbed Alpha = %v", alpha, got)
+		}
+		for x, ok := range mask {
+			if ok != pert.Contains(x, trueFreqs[x]) {
+				t.Errorf("alpha=%v: mask[%d]=%v disagrees with interval", alpha, x, ok)
+			}
+		}
+	}
+	if _, _, err := AlphaCompliant(base, trueFreqs, -0.1, rng); err == nil {
+		t.Error("negative alpha: want error")
+	}
+	bad := MustNew([]Interval{{0.9, 1}})
+	if _, _, err := AlphaCompliant(bad, []float64{0.1}, 0.5, rng); err == nil {
+		t.Error("non-compliant base: want error")
+	}
+}
+
+func TestMisguideItemExcludesTruth(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	distinct := []float64{0.1, 0.3, 0.5, 0.7}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		truth := distinct[r.Intn(len(distinct))]
+		orig := Interval{truth - 0.05, truth + 0.05}.Clamp()
+		got := MisguideItem(orig, truth, distinct, rng)
+		return !got.Contains(truth) && got.Lo <= got.Hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+	// Degenerate: a single distinct frequency still gets excluded via the
+	// shift fallback.
+	got := MisguideItem(Interval{0.45, 0.55}, 0.5, []float64{0.5}, rng)
+	if got.Contains(0.5) {
+		t.Errorf("fallback interval %v still contains the truth", got)
+	}
+}
+
+func TestShrinkCompliantSet(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	mask := make([]bool, 10)
+	for i := 0; i < 8; i++ {
+		mask[i] = true
+	}
+	out := ShrinkCompliantSet(mask, rng)
+	c := 0
+	for x, ok := range out {
+		if ok {
+			c++
+			if !mask[x] {
+				t.Error("shrink turned a non-compliant item compliant")
+			}
+		}
+	}
+	if c != 4 {
+		t.Errorf("shrink left %d compliant, want 4", c)
+	}
+	// Input must be unchanged.
+	in := 0
+	for _, ok := range mask {
+		if ok {
+			in++
+		}
+	}
+	if in != 8 {
+		t.Error("ShrinkCompliantSet mutated its input")
+	}
+}
+
+func TestRefinesAlpha(t *testing.T) {
+	trueFreqs := []float64{0.1, 0.2, 0.3, 0.4}
+	g := UniformWidth(trueFreqs, 0.05)
+	gMask := []bool{true, true, true, true}
+	// f: same intervals, fewer compliant items -> f ⪯_C g.
+	f := g.Clone()
+	fMask := []bool{true, false, true, false}
+	if !RefinesAlpha(f, fMask, g, gMask) {
+		t.Error("subset of compliant items with equal intervals should satisfy ⪯_C")
+	}
+	if RefinesAlpha(g, gMask, f, fMask) {
+		t.Error("⪯_C should not hold in the opposite direction")
+	}
+	// Widening f on a compliant item keeps f ⪯_C g (g's intervals ⊆ f's).
+	wide := f.Widen(0.01)
+	if !RefinesAlpha(wide, fMask, g, gMask) {
+		t.Error("wider intervals on the smaller compliant set should still satisfy ⪯_C")
+	}
+	// Narrowing f below g's width on a compliant item breaks (ii).
+	narrow := MustNew([]Interval{{0.09, 0.11}, {0.15, 0.25}, {0.25, 0.35}, {0.35, 0.45}})
+	if RefinesAlpha(narrow, fMask, g, gMask) {
+		t.Error("narrower interval on a compliant item should break ⪯_C")
+	}
+}
+
+func TestIgnorantPointValuedProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		freqs := make([]float64, n)
+		for i := range freqs {
+			freqs[i] = rng.Float64()
+		}
+		ig := Ignorant(n)
+		pv := PointValued(freqs)
+		rc := RandomCompliant(freqs, 0.2, rng)
+		return ig.IsCompliant(freqs) && pv.IsCompliant(freqs) && rc.IsCompliant(freqs) &&
+			pv.Refines(ig) && pv.Refines(rc) && rc.Refines(ig)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	f := MustNew([]Interval{{0.1, 0.5}, {0.2, 0.4}, {0.0, 0.2}})
+	g := MustNew([]Interval{{0.3, 0.7}, {0.2, 0.4}, {0.5, 0.9}})
+	out, conflicts, err := Intersect(f, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv := out.Interval(0); iv.Lo != 0.3 || iv.Hi != 0.5 {
+		t.Errorf("intersection(0) = %v, want [0.3,0.5]", iv)
+	}
+	if iv := out.Interval(1); iv.Lo != 0.2 || iv.Hi != 0.4 {
+		t.Errorf("intersection(1) = %v", iv)
+	}
+	if len(conflicts) != 1 || conflicts[0] != 2 {
+		t.Errorf("conflicts = %v, want [2]", conflicts)
+	}
+	// The intersection refines both inputs on conflict-free items.
+	if !out.Interval(0).Within(f.Interval(0)) || !out.Interval(0).Within(g.Interval(0)) {
+		t.Error("intersection must refine both inputs")
+	}
+	if _, _, err := Intersect(f, Ignorant(2)); err == nil {
+		t.Error("domain mismatch: want error")
+	}
+}
+
+func TestIntersectTightensOE(t *testing.T) {
+	// Combining two compliant sources can only tighten (Lemma 8 direction).
+	rng := rand.New(rand.NewSource(201))
+	trueFreqs := []float64{0.1, 0.25, 0.4, 0.6, 0.8}
+	a := RandomCompliant(trueFreqs, 0.2, rng)
+	b := RandomCompliant(trueFreqs, 0.2, rng)
+	out, conflicts, err := Intersect(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(conflicts) != 0 {
+		t.Fatalf("compliant sources cannot conflict: %v", conflicts)
+	}
+	if !out.IsCompliant(trueFreqs) {
+		t.Error("intersection of compliant functions must stay compliant")
+	}
+	if !out.Refines(a) || !out.Refines(b) {
+		t.Error("intersection must refine both sources")
+	}
+}

@@ -1,0 +1,100 @@
+package belief
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Parse reads a belief function from a simple text format, one fact per
+// line:
+//
+//	<item> <lo> <hi>   # interval belief for one item
+//	<item> <freq>      # point belief
+//	* <lo> <hi>        # default for items not mentioned (default: 0 1)
+//	# comment          # blank lines and #-comments are skipped
+//
+// Items are ids in [0, n). Later lines override earlier ones. The result is
+// the hacker's prior: everything not mentioned stays at the declared default
+// (ignorant when no '*' line appears).
+func Parse(r io.Reader, n int) (*Function, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("belief: domain size %d", n)
+	}
+	def := Interval{Lo: 0, Hi: 1}
+	type line struct {
+		item int
+		iv   Interval
+	}
+	var lines []line
+	sc := bufio.NewScanner(r)
+	no := 0
+	for sc.Scan() {
+		no++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		if i := strings.Index(text, "#"); i >= 0 {
+			text = strings.TrimSpace(text[:i])
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 || len(fields) > 3 {
+			return nil, fmt.Errorf("belief: line %d: want '<item> <lo> [<hi>]'", no)
+		}
+		lo, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("belief: line %d: bad bound %q", no, fields[1])
+		}
+		hi := lo
+		if len(fields) == 3 {
+			hi, err = strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("belief: line %d: bad bound %q", no, fields[2])
+			}
+		}
+		if lo > hi {
+			return nil, fmt.Errorf("belief: line %d: inverted interval [%v,%v]", no, lo, hi)
+		}
+		iv := Interval{Lo: lo, Hi: hi}.Clamp()
+		if fields[0] == "*" {
+			def = iv
+			continue
+		}
+		item, err := strconv.Atoi(fields[0])
+		if err != nil || item < 0 || item >= n {
+			return nil, fmt.Errorf("belief: line %d: item %q outside [0,%d)", no, fields[0], n)
+		}
+		lines = append(lines, line{item: item, iv: iv})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	ivs := make([]Interval, n)
+	for i := range ivs {
+		ivs[i] = def
+	}
+	for _, l := range lines {
+		ivs[l.item] = l.iv
+	}
+	return New(ivs)
+}
+
+// Write renders the belief function in the Parse format, listing only the
+// items whose interval differs from [0, 1].
+func Write(w io.Writer, f *Function) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "# belief function: <item> <lo> <hi>; unlisted items are ignorant")
+	for x := 0; x < f.Items(); x++ {
+		iv := f.Interval(x)
+		if iv.Lo <= Epsilon && iv.Hi >= 1-Epsilon {
+			continue
+		}
+		if _, err := fmt.Fprintf(bw, "%d %g %g\n", x, iv.Lo, iv.Hi); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,114 @@
+package belief
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestParseBasic(t *testing.T) {
+	in := `
+# Figure 2's h, roughly
+* 0 1
+1 0.4 0.5
+2 0.5          # point belief
+3 0.4 0.6
+4 0.1 0.4
+5 0.5 0.5
+`
+	f, err := Parse(strings.NewReader(in), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv := f.Interval(0); iv.Lo != 0 || iv.Hi != 1 {
+		t.Errorf("item 0 default = %v, want [0,1]", iv)
+	}
+	if iv := f.Interval(2); !iv.IsPoint() || iv.Lo != 0.5 {
+		t.Errorf("item 2 = %v, want point 0.5", iv)
+	}
+	if iv := f.Interval(4); iv.Lo != 0.1 || iv.Hi != 0.4 {
+		t.Errorf("item 4 = %v", iv)
+	}
+}
+
+func TestParseDefaultLine(t *testing.T) {
+	f, err := Parse(strings.NewReader("* 0.2 0.3\n1 0.9\n"), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv := f.Interval(0); iv.Lo != 0.2 || iv.Hi != 0.3 {
+		t.Errorf("default = %v", iv)
+	}
+	if iv := f.Interval(1); iv.Lo != 0.9 {
+		t.Errorf("override = %v", iv)
+	}
+}
+
+func TestParseOverride(t *testing.T) {
+	f, err := Parse(strings.NewReader("0 0.1 0.2\n0 0.3 0.4\n"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv := f.Interval(0); iv.Lo != 0.3 {
+		t.Errorf("later line should win: %v", iv)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"0\n",           // too few fields
+		"0 1 2 3\n",     // too many
+		"0 x\n",         // bad bound
+		"0 0.1 y\n",     // bad hi
+		"0 0.5 0.4\n",   // inverted
+		"9 0.1 0.2\n",   // item out of range
+		"-1 0.1 0.2\n",  // negative item
+		"foo 0.1 0.2\n", // non-numeric item
+	}
+	for _, in := range cases {
+		if _, err := Parse(strings.NewReader(in), 3); err == nil {
+			t.Errorf("Parse(%q): want error", in)
+		}
+	}
+	if _, err := Parse(strings.NewReader(""), 0); err == nil {
+		t.Error("n = 0: want error")
+	}
+	// Empty input = fully ignorant function.
+	f, err := Parse(strings.NewReader(""), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.IsIgnorant() {
+		t.Error("empty input should give the ignorant function")
+	}
+}
+
+func TestParseClampsOutOfRange(t *testing.T) {
+	f, err := Parse(strings.NewReader("0 -0.5 1.7\n"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv := f.Interval(0); iv.Lo != 0 || iv.Hi != 1 {
+		t.Errorf("clamped = %v, want [0,1]", iv)
+	}
+}
+
+func TestWriteRoundTrip(t *testing.T) {
+	orig := MustNew([]Interval{
+		{Lo: 0, Hi: 1}, {Lo: 0.4, Hi: 0.5}, {Lo: 0.5, Hi: 0.5}, {Lo: 0.25, Hi: 0.75},
+	})
+	var buf bytes.Buffer
+	if err := Write(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(&buf, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := 0; x < 4; x++ {
+		a, b := orig.Interval(x), back.Interval(x)
+		if a.Lo != b.Lo || a.Hi != b.Hi {
+			t.Errorf("item %d: %v vs %v", x, a, b)
+		}
+	}
+}

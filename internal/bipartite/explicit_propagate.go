@@ -1,0 +1,122 @@
+package bipartite
+
+// Propagate runs the degree-1 propagation of Figure 7 on an explicit graph:
+// any vertex (on either side) with exactly one remaining neighbour has its
+// edge in every perfect matching; the pair is removed and degrees updated, to
+// a fixed point. It mirrors Graph.Propagate for graphs that are not
+// interval-structured — e.g. the relational consistency graphs of
+// Section 8.1. ErrInfeasible is returned when a vertex runs out of
+// neighbours (or starts with none).
+func (e *Explicit) Propagate() (*Propagation, error) {
+	n := e.N
+	aliveL := make([]bool, n) // anonymized side
+	aliveR := make([]bool, n) // original side
+	degL := make([]int, n)
+	degR := make([]int, n)
+	// Reverse adjacency for the right side.
+	radj := make([][]int, n)
+	for w := 0; w < n; w++ {
+		aliveL[w] = true
+		aliveR[w] = true
+		degL[w] = len(e.Adj[w])
+		for _, x := range e.Adj[w] {
+			radj[x] = append(radj[x], w)
+			degR[x]++
+		}
+	}
+	res := &Propagation{Outdeg: make([]int, n)}
+	matchedL := make([]bool, n)
+	matchedR := make([]bool, n)
+
+	queue := make([]int, 0, 2*n) // encoded: w for left, n+x for right
+	for v := 0; v < n; v++ {
+		if degL[v] <= 1 {
+			queue = append(queue, v)
+		}
+		if degR[v] <= 1 {
+			queue = append(queue, n+v)
+		}
+	}
+
+	force := func(w, x int) {
+		res.Forced = append(res.Forced, ForcedPair{Anon: w, Item: x})
+		res.Outdeg[x] = 1
+		aliveL[w] = false
+		aliveR[x] = false
+		matchedL[w] = true
+		matchedR[x] = true
+		for _, y := range e.Adj[w] {
+			if aliveR[y] {
+				degR[y]--
+				if degR[y] <= 1 {
+					queue = append(queue, n+y)
+				}
+			}
+		}
+		for _, v := range radj[x] {
+			if aliveL[v] {
+				degL[v]--
+				if degL[v] <= 1 {
+					queue = append(queue, v)
+				}
+			}
+		}
+	}
+
+	for len(queue) > 0 {
+		enc := queue[0]
+		queue = queue[1:]
+		if enc < n {
+			w := enc
+			if !aliveL[w] {
+				continue
+			}
+			d, last := 0, -1
+			for _, x := range e.Adj[w] {
+				if aliveR[x] {
+					d++
+					last = x
+				}
+			}
+			if d == 0 {
+				return nil, ErrInfeasible
+			}
+			if d == 1 {
+				force(w, last)
+			}
+		} else {
+			x := enc - n
+			if !aliveR[x] {
+				continue
+			}
+			d, last := 0, -1
+			for _, w := range radj[x] {
+				if aliveL[w] {
+					d++
+					last = w
+				}
+			}
+			if d == 0 {
+				return nil, ErrInfeasible
+			}
+			if d == 1 {
+				force(last, x)
+			}
+		}
+	}
+
+	res.Rounds = 1 // worklist formulation: a single logical pass to fixpoint
+	for x := 0; x < n; x++ {
+		if matchedR[x] {
+			continue
+		}
+		d := 0
+		for _, w := range radj[x] {
+			if aliveL[w] {
+				d++
+			}
+		}
+		res.Outdeg[x] = d
+	}
+	return res, nil
+}

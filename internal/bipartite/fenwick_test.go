@@ -1,0 +1,98 @@
+package bipartite
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestFenwickBasic(t *testing.T) {
+	f := newFenwick(10)
+	vals := []int{3, 0, 5, 1, 0, 2, 0, 0, 7, 4}
+	for i, v := range vals {
+		f.Add(i, v)
+	}
+	sum := 0
+	for i, v := range vals {
+		sum += v
+		if got := f.PrefixSum(i); got != sum {
+			t.Errorf("PrefixSum(%d) = %d, want %d", i, got, sum)
+		}
+	}
+	if got := f.PrefixSum(-1); got != 0 {
+		t.Errorf("PrefixSum(-1) = %d, want 0", got)
+	}
+	if got := f.RangeSum(2, 5); got != 8 {
+		t.Errorf("RangeSum(2,5) = %d, want 8", got)
+	}
+	if got := f.RangeSum(5, 2); got != 0 {
+		t.Errorf("RangeSum(5,2) = %d, want 0", got)
+	}
+	f.Add(2, -5)
+	if got := f.RangeSum(2, 5); got != 3 {
+		t.Errorf("after update RangeSum(2,5) = %d, want 3", got)
+	}
+}
+
+func TestFenwickFindKth(t *testing.T) {
+	f := newFenwick(6)
+	vals := []int{0, 2, 0, 3, 1, 0}
+	for i, v := range vals {
+		f.Add(i, v)
+	}
+	// Cumulative: 0,2,2,5,6,6. FindKth(k) = first index with prefix >= k.
+	cases := map[int]int{1: 1, 2: 1, 3: 3, 5: 3, 6: 4}
+	for k, want := range cases {
+		if got := f.FindKth(k); got != want {
+			t.Errorf("FindKth(%d) = %d, want %d", k, got, want)
+		}
+	}
+}
+
+func TestFenwickFindKthRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(30)
+		f := newFenwick(n)
+		vals := make([]int, n)
+		total := 0
+		for i := range vals {
+			vals[i] = rng.Intn(4)
+			total += vals[i]
+			f.Add(i, vals[i])
+		}
+		if total == 0 {
+			continue
+		}
+		k := 1 + rng.Intn(total)
+		got := f.FindKth(k)
+		// Brute force.
+		want, cum := -1, 0
+		for i, v := range vals {
+			cum += v
+			if cum >= k {
+				want = i
+				break
+			}
+		}
+		if got != want {
+			t.Fatalf("trial %d: FindKth(%d) = %d, want %d (vals %v)", trial, k, got, want, vals)
+		}
+	}
+}
+
+func TestRangeFenwick(t *testing.T) {
+	f := newRangeFenwick(8)
+	f.Add(1, 4, 2)
+	f.Add(3, 6, 5)
+	f.Add(5, 2, 9) // inverted range: no-op
+	want := []int{0, 2, 2, 7, 7, 5, 5, 0}
+	for i, w := range want {
+		if got := f.Get(i); got != w {
+			t.Errorf("Get(%d) = %d, want %d", i, got, w)
+		}
+	}
+	f.Add(1, 4, -2)
+	if got := f.Get(2); got != 0 {
+		t.Errorf("after removal Get(2) = %d, want 0", got)
+	}
+}

@@ -1,0 +1,144 @@
+package bipartite
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/belief"
+	"repro/internal/dataset"
+)
+
+// Graph is the compact representation of the bipartite graph
+// G = (J ∪ I, E) of Section 2.3: anonymized items J on one side, original
+// items I on the other, with an edge (w′, x) whenever the observed frequency
+// of w′ lies in x's belief interval.
+//
+// Because the anonymization is a bijection and observed frequencies are
+// permutation-invariant, anonymized items are identified here by the original
+// item they hide: "anonymized item x′" is represented by the id x. The graph
+// never depends on the concrete anonymization mapping.
+//
+// Anonymized items are grouped by observed frequency (ascending); an item's
+// belief interval covers a contiguous range of groups, stored as
+// [ItemLo[x], ItemHi[x]] (inclusive; ItemLo[x] > ItemHi[x] means the item has
+// no consistent counterpart, which can only happen for non-compliant items).
+type Graph struct {
+	Freqs      []float64 // distinct observed frequencies, ascending (len g)
+	GroupSize  []int     // number of anonymized items per group
+	GroupItems [][]int   // anonymized-item ids per group (ids in original space)
+	ItemGroup  []int     // true group of each item (= group of its anonymized twin)
+	ItemLo     []int     // first group index covered by the item's belief interval
+	ItemHi     []int     // last group index covered (inclusive)
+
+	prefix []int // prefix[i] = total anonymized items in groups [0, i)
+}
+
+// Build constructs the graph from a belief function and the grouping of the
+// (anonymized) database. The belief function and grouping must share the same
+// domain size.
+func Build(bf *belief.Function, gr *dataset.Grouping) (*Graph, error) {
+	n := gr.NumItems()
+	if bf.Items() != n {
+		return nil, fmt.Errorf("bipartite: belief domain %d != dataset domain %d", bf.Items(), n)
+	}
+	k := gr.NumGroups()
+	g := &Graph{
+		Freqs:      gr.Freqs(),
+		GroupSize:  make([]int, k),
+		GroupItems: make([][]int, k),
+		ItemGroup:  make([]int, n),
+		ItemLo:     make([]int, n),
+		ItemHi:     make([]int, n),
+		prefix:     make([]int, k+1),
+	}
+	for gi, grp := range gr.Groups {
+		g.GroupSize[gi] = len(grp.Items)
+		g.GroupItems[gi] = append([]int(nil), grp.Items...)
+		for _, x := range grp.Items {
+			g.ItemGroup[x] = gi
+		}
+	}
+	for gi := 0; gi < k; gi++ {
+		g.prefix[gi+1] = g.prefix[gi] + g.GroupSize[gi]
+	}
+	for x := 0; x < n; x++ {
+		iv := bf.Interval(x)
+		g.ItemLo[x], g.ItemHi[x] = groupRange(g.Freqs, iv)
+	}
+	return g, nil
+}
+
+// groupRange returns the inclusive range of indices of freqs (sorted
+// ascending) falling inside the closed interval iv, with belief.Epsilon
+// slack. An empty range is returned as (1, 0)-style lo > hi.
+func groupRange(freqs []float64, iv belief.Interval) (lo, hi int) {
+	lo = sort.SearchFloat64s(freqs, iv.Lo-belief.Epsilon)
+	hi = sort.SearchFloat64s(freqs, iv.Hi+belief.Epsilon) - 1
+	return lo, hi
+}
+
+// Items returns the domain size n.
+func (g *Graph) Items() int { return len(g.ItemGroup) }
+
+// NumGroups returns the number of distinct observed frequencies.
+func (g *Graph) NumGroups() int { return len(g.Freqs) }
+
+// Outdegree returns O_x: the number of anonymized items whose observed
+// frequency lies in item x's belief interval, i.e. the number of anonymized
+// items that a consistent mapping may send to x.
+func (g *Graph) Outdegree(x int) int {
+	lo, hi := g.ItemLo[x], g.ItemHi[x]
+	if lo > hi {
+		return 0
+	}
+	return g.prefix[hi+1] - g.prefix[lo]
+}
+
+// Outdegrees returns O_x for every item, without propagation. This is the
+// quantity Step 4 of the O-estimate procedure (Figure 5) computes via
+// frequency groups and prefix sums in O(n log n).
+func (g *Graph) Outdegrees() []int {
+	out := make([]int, g.Items())
+	for x := range out {
+		out[x] = g.Outdegree(x)
+	}
+	return out
+}
+
+// NumEdges returns |E| = Σ_x O_x.
+func (g *Graph) NumEdges() int {
+	total := 0
+	for x := 0; x < g.Items(); x++ {
+		total += g.Outdegree(x)
+	}
+	return total
+}
+
+// HasEdge reports whether anonymized item w′ may map to item x, i.e. whether
+// w's observed frequency group lies in x's belief range.
+func (g *Graph) HasEdge(w, x int) bool {
+	gw := g.ItemGroup[w]
+	return g.ItemLo[x] <= gw && gw <= g.ItemHi[x]
+}
+
+// Compliant reports whether item x's own anonymized twin is a consistent
+// image, i.e. the edge (x′, x) exists. This matches belief-function
+// compliancy on x (Section 2.3).
+func (g *Graph) Compliant(x int) bool { return g.HasEdge(x, x) }
+
+// CompliantCount returns the number of items on which the underlying belief
+// function is compliant.
+func (g *Graph) CompliantCount() int {
+	c := 0
+	for x := 0; x < g.Items(); x++ {
+		if g.Compliant(x) {
+			c++
+		}
+	}
+	return c
+}
+
+// OutdegreePrefix returns the total number of anonymized items in the first
+// gi frequency groups (groups [0, gi)). Samplers use it to draw uniform
+// candidates from an item's contiguous group range in O(log k).
+func (g *Graph) OutdegreePrefix(gi int) int { return g.prefix[gi] }

@@ -1,0 +1,164 @@
+package bipartite
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// MaxExactN caps the size of graphs accepted by the exact counting
+// routines. Counting perfect matchings is #P-complete (Valiant 1979, [25] in
+// the paper); the subset-DP used here costs O(2^n · n) big-integer additions,
+// which is practical to about n = 24.
+const MaxExactN = 24
+
+// CountPerfectMatchings returns the number of perfect matchings of the graph
+// — the permanent of its biadjacency matrix — computed exactly by dynamic
+// programming over subsets of right vertices. It returns an error when
+// e.N > MaxExactN.
+func (e *Explicit) CountPerfectMatchings() (*big.Int, error) {
+	if e.N > MaxExactN {
+		return nil, fmt.Errorf("bipartite: exact count needs n <= %d, got %d", MaxExactN, e.N)
+	}
+	n := e.N
+	size := 1 << uint(n)
+	dp := make([]*big.Int, size)
+	dp[0] = big.NewInt(1)
+	for s := 1; s < size; s++ {
+		row := popcount(uint(s)) - 1 // left vertex to place next
+		acc := new(big.Int)
+		for _, x := range e.Adj[row] {
+			bit := 1 << uint(x)
+			if s&bit != 0 && dp[s^bit] != nil && dp[s^bit].Sign() > 0 {
+				acc.Add(acc, dp[s^bit])
+			}
+		}
+		dp[s] = acc
+	}
+	return dp[size-1], nil
+}
+
+func popcount(v uint) int {
+	c := 0
+	for ; v != 0; v &= v - 1 {
+		c++
+	}
+	return c
+}
+
+// Permanent is an alias for CountPerfectMatchings, matching the paper's
+// terminology for the direct method of Section 4.1.
+func (e *Explicit) Permanent() (*big.Int, error) { return e.CountPerfectMatchings() }
+
+// EdgeInclusionProbability returns, for each edge (w′, x), the probability
+// that a uniformly random perfect matching contains it:
+// perm(minor(w, x)) / perm(A). Entries for absent edges are 0. It returns an
+// error if the graph is too large or admits no perfect matching.
+//
+// One subset-DP per left vertex suffices: fixing w′ ↦ x means matching the
+// remaining left vertices to the remaining right vertices, so all minors that
+// share the removed left vertex come from a single DP table.
+func (e *Explicit) EdgeInclusionProbability() ([][]float64, error) {
+	total, err := e.CountPerfectMatchings()
+	if err != nil {
+		return nil, err
+	}
+	if total.Sign() == 0 {
+		return nil, ErrInfeasible
+	}
+	tot := new(big.Float).SetInt(total)
+	out := make([][]float64, e.N)
+	for w := 0; w < e.N; w++ {
+		out[w] = make([]float64, e.N)
+		counts, err := e.matchingCountsFixingLeft(w)
+		if err != nil {
+			return nil, err
+		}
+		for _, x := range e.Adj[w] {
+			q := new(big.Float).Quo(new(big.Float).SetInt(counts[x]), tot)
+			out[w][x], _ = q.Float64()
+		}
+	}
+	return out, nil
+}
+
+// matchingCountsFixingLeft returns, for each right vertex x adjacent to left
+// vertex w, the number of perfect matchings of the graph that contain the
+// edge (w′, x). Non-adjacent entries are zero.
+func (e *Explicit) matchingCountsFixingLeft(w int) ([]*big.Int, error) {
+	n := e.N
+	// DP over the left vertices excluding w, in order.
+	rows := make([]int, 0, n-1)
+	for i := 0; i < n; i++ {
+		if i != w {
+			rows = append(rows, i)
+		}
+	}
+	size := 1 << uint(n)
+	dp := make([]*big.Int, size)
+	dp[0] = big.NewInt(1)
+	for s := 1; s < size; s++ {
+		c := popcount(uint(s))
+		if c > len(rows) {
+			continue
+		}
+		row := rows[c-1]
+		acc := new(big.Int)
+		for _, x := range e.Adj[row] {
+			bit := 1 << uint(x)
+			if s&bit != 0 && dp[s^bit] != nil && dp[s^bit].Sign() > 0 {
+				acc.Add(acc, dp[s^bit])
+			}
+		}
+		dp[s] = acc
+	}
+	full := size - 1
+	out := make([]*big.Int, n)
+	for x := range out {
+		out[x] = new(big.Int)
+	}
+	for _, x := range e.Adj[w] {
+		// Matchings containing (w′, x): the other n-1 left vertices cover
+		// exactly the right vertices except x.
+		s := full ^ (1 << uint(x))
+		if dp[s] != nil {
+			out[x].Set(dp[s])
+		}
+	}
+	return out, nil
+}
+
+// EnumeratePerfectMatchings calls visit for every perfect matching, passing
+// the matching as match[w] = x. The slice is reused; visit must copy it to
+// retain it. Enumeration explodes combinatorially; an error is returned when
+// the matching count exceeds maxCount (pass 0 for a default of 10_000_000).
+func (e *Explicit) EnumeratePerfectMatchings(maxCount int, visit func(match []int)) error {
+	if maxCount <= 0 {
+		maxCount = 10_000_000
+	}
+	match := make([]int, e.N)
+	used := make([]bool, e.N)
+	count := 0
+	var rec func(w int) error
+	rec = func(w int) error {
+		if w == e.N {
+			count++
+			if count > maxCount {
+				return fmt.Errorf("bipartite: more than %d perfect matchings", maxCount)
+			}
+			visit(match)
+			return nil
+		}
+		for _, x := range e.Adj[w] {
+			if !used[x] {
+				used[x] = true
+				match[w] = x
+				if err := rec(w + 1); err != nil {
+					return err
+				}
+				used[x] = false
+			}
+		}
+		return nil
+	}
+	return rec(0)
+}

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/belief"
+	"repro/internal/dataset"
+)
+
+// ChainSpec describes a chain belief function of length k (Section 4.2,
+// Figure 4(b)): the anonymized database has k frequency groups of sizes
+// n_1..n_k (increasing frequency); the hacker's belief groups are k exclusive
+// groups E_i of sizes e_i (mapping only to frequency group i) and k-1 shared
+// groups S_i of sizes s_i (mapping to frequency groups i and i+1).
+type ChainSpec struct {
+	GroupSizes []int // n_i, len k
+	Exclusive  []int // e_i, len k
+	Shared     []int // s_i, len k-1 (empty for k = 1)
+}
+
+// splits returns a_i (items of S_i whose true anonymized twin is in group i)
+// and b_i (in group i+1). These splits are forced: walking the chain left to
+// right, group i's n_i members must be exactly E_i ∪ (b_{i-1} items of
+// S_{i-1}) ∪ (a_i items of S_i), so a_i = n_i − e_i − b_{i-1} and
+// b_i = s_i − a_i, with b_0 = 0.
+func (c ChainSpec) splits() (a, b []int, err error) {
+	k := len(c.GroupSizes)
+	if k == 0 {
+		return nil, nil, fmt.Errorf("core: chain has no groups")
+	}
+	if len(c.Exclusive) != k {
+		return nil, nil, fmt.Errorf("core: chain has %d exclusive groups, want %d", len(c.Exclusive), k)
+	}
+	if len(c.Shared) != k-1 {
+		return nil, nil, fmt.Errorf("core: chain has %d shared groups, want %d", len(c.Shared), k-1)
+	}
+	a = make([]int, k-1)
+	b = make([]int, k-1)
+	prevB := 0
+	for i := 0; i < k-1; i++ {
+		if c.GroupSizes[i] <= 0 || c.Exclusive[i] < 0 || c.Shared[i] < 0 {
+			return nil, nil, fmt.Errorf("core: chain position %d: negative or empty sizes", i)
+		}
+		a[i] = c.GroupSizes[i] - c.Exclusive[i] - prevB
+		if a[i] < 0 || a[i] > c.Shared[i] {
+			return nil, nil, fmt.Errorf("core: chain position %d: infeasible split a=%d (s=%d)", i, a[i], c.Shared[i])
+		}
+		b[i] = c.Shared[i] - a[i]
+		prevB = b[i]
+	}
+	last := k - 1
+	if c.GroupSizes[last] <= 0 || c.Exclusive[last] < 0 {
+		return nil, nil, fmt.Errorf("core: chain position %d: negative or empty sizes", last)
+	}
+	if c.GroupSizes[last] != c.Exclusive[last]+prevB {
+		return nil, nil, fmt.Errorf("core: chain tail mismatch: n_k=%d but e_k+b_{k-1}=%d",
+			c.GroupSizes[last], c.Exclusive[last]+prevB)
+	}
+	return a, b, nil
+}
+
+// Validate checks that the chain is structurally consistent: sizes are
+// non-negative, Σe + Σs = Σn, and the forced splits a_i, b_i are all
+// non-negative.
+func (c ChainSpec) Validate() error {
+	_, _, err := c.splits()
+	return err
+}
+
+// Items returns the domain size Σ n_i.
+func (c ChainSpec) Items() int {
+	n := 0
+	for _, v := range c.GroupSizes {
+		n += v
+	}
+	return n
+}
+
+// ExpectedCracks returns the exact expected number of cracks for the chain
+// (Lemma 6; Lemma 5 is the k = 2 case):
+//
+//	E(X) = Σ_j e_j/n_j + Σ_i [ a_i²/(s_i·n_i) + b_i²/(s_i·n_{i+1}) ]
+//
+// where a_i = Σ_{j≤i}(n_j − e_j − s_{j-1}) and b_i = Σ_{j≤i}(s_j + e_j − n_j)
+// are the forced split sizes. (The paper's statement of Lemma 6 drops the
+// square on the first bracketed sum — restoring it is forced by Lemma 5 and
+// by the worked example E(X) = 74/45 of Figure 4(a).)
+func (c ChainSpec) ExpectedCracks() (float64, error) {
+	a, b, err := c.splits()
+	if err != nil {
+		return 0, err
+	}
+	e := 0.0
+	for j, ej := range c.Exclusive {
+		e += float64(ej) / float64(c.GroupSizes[j])
+	}
+	for i, si := range c.Shared {
+		if si == 0 {
+			continue
+		}
+		e += float64(a[i]*a[i]) / (float64(si) * float64(c.GroupSizes[i]))
+		e += float64(b[i]*b[i]) / (float64(si) * float64(c.GroupSizes[i+1]))
+	}
+	return e, nil
+}
+
+// OEstimate returns the closed-form O-estimate for the chain (Section 5.2):
+//
+//	OE = Σ_j e_j/n_j + Σ_j s_j/(n_j + n_{j+1})
+//
+// Exclusive items have outdegree n_j; shared items have outdegree
+// n_j + n_{j+1}.
+func (c ChainSpec) OEstimate() (float64, error) {
+	if err := c.Validate(); err != nil {
+		return 0, err
+	}
+	oe := 0.0
+	for j, ej := range c.Exclusive {
+		oe += float64(ej) / float64(c.GroupSizes[j])
+	}
+	for j, sj := range c.Shared {
+		oe += float64(sj) / float64(c.GroupSizes[j]+c.GroupSizes[j+1])
+	}
+	return oe, nil
+}
+
+// Delta returns the signed difference E(X) − OE and its magnitude relative to
+// the exact value, as the percentage the §5.2 table reports.
+func (c ChainSpec) Delta() (delta, percent float64, err error) {
+	exact, err := c.ExpectedCracks()
+	if err != nil {
+		return 0, 0, err
+	}
+	oe, err := c.OEstimate()
+	if err != nil {
+		return 0, 0, err
+	}
+	delta = exact - oe
+	if exact != 0 {
+		percent = 100 * delta / exact
+	}
+	return delta, percent, nil
+}
+
+// Realize materializes the chain as a concrete frequency table and a
+// compliant interval belief function, so that the closed forms can be
+// cross-checked against the generic graph algorithms and the matching
+// sampler. Group i receives the support count counts[i] (strictly increasing,
+// each in [0, m]); exclusive items get point beliefs at their group frequency
+// and shared items get the interval spanning their two groups.
+func (c ChainSpec) Realize(m int, counts []int) (*dataset.FrequencyTable, *belief.Function, error) {
+	if _, _, err := c.splits(); err != nil {
+		return nil, nil, err
+	}
+	k := len(c.GroupSizes)
+	if len(counts) != k {
+		return nil, nil, fmt.Errorf("core: %d group counts, want %d", len(counts), k)
+	}
+	for i := 1; i < k; i++ {
+		if counts[i] <= counts[i-1] {
+			return nil, nil, fmt.Errorf("core: group counts must be strictly increasing")
+		}
+	}
+	a, b, _ := c.splits()
+	freq := func(i int) float64 { return float64(counts[i]) / float64(m) }
+
+	var itemCounts []int
+	var ivs []belief.Interval
+	appendItems := func(count int, iv belief.Interval, howMany int) {
+		for j := 0; j < howMany; j++ {
+			itemCounts = append(itemCounts, count)
+			ivs = append(ivs, iv)
+		}
+	}
+	for i := 0; i < k; i++ {
+		// Exclusive group E_i: point beliefs at f_i, true group i.
+		appendItems(counts[i], belief.Interval{Lo: freq(i), Hi: freq(i)}, c.Exclusive[i])
+		// Shared group S_i: interval [f_i, f_{i+1}]; a_i items truly in
+		// group i, b_i in group i+1.
+		if i < k-1 {
+			iv := belief.Interval{Lo: freq(i), Hi: freq(i + 1)}
+			appendItems(counts[i], iv, a[i])
+			appendItems(counts[i+1], iv, b[i])
+		}
+	}
+	ft, err := dataset.NewTable(m, itemCounts)
+	if err != nil {
+		return nil, nil, err
+	}
+	bf, err := belief.New(ivs)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ft, bf, nil
+}
+
+// Figure4aChain is the worked example of Figure 4(a): two frequency groups of
+// sizes 5 and 3 (frequencies 0.3 and 0.7), exclusive groups of sizes 3 and 2,
+// and one shared group of size 3. Its exact expected number of cracks is
+// 74/45 ≈ 1.644 and its O-estimate 197/120 ≈ 1.6417.
+func Figure4aChain() ChainSpec {
+	return ChainSpec{
+		GroupSizes: []int{5, 3},
+		Exclusive:  []int{3, 2},
+		Shared:     []int{3},
+	}
+}

@@ -1,0 +1,225 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestFigure4aExact(t *testing.T) {
+	c := Figure4aChain()
+	got, err := c.ExpectedCracks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 74.0 / 45.0
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("E(X) = %v, want 74/45 = %v", got, want)
+	}
+}
+
+func TestFigure4aOEstimate(t *testing.T) {
+	c := Figure4aChain()
+	got, err := c.OEstimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 197.0 / 120.0
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("OE = %v, want 197/120 = %v", got, want)
+	}
+	delta, pct, err := c.Delta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta <= 0 {
+		t.Errorf("Delta = %v, want positive (OE slightly under-estimates here)", delta)
+	}
+	if pct <= 0 || pct > 1 {
+		t.Errorf("Delta%% = %v, want small positive", pct)
+	}
+}
+
+func TestLemma5MatchesLemma6(t *testing.T) {
+	// Lemma 5 is the k = 2 instance: E = e1/n1 + e2/n2 +
+	// (n1-e1)²/(s1·n1) + (n2-e2)²/(s1·n2).
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		n1, n2 := 1+rng.Intn(10), 1+rng.Intn(10)
+		a1 := rng.Intn(n1 + 1)
+		e1 := n1 - a1
+		b1 := rng.Intn(n2 + 1)
+		e2 := n2 - b1
+		s1 := a1 + b1
+		c := ChainSpec{GroupSizes: []int{n1, n2}, Exclusive: []int{e1, e2}, Shared: []int{s1}}
+		got, err := c.ExpectedCracks()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want := float64(e1)/float64(n1) + float64(e2)/float64(n2)
+		if s1 > 0 {
+			want += float64((n1-e1)*(n1-e1)) / (float64(s1) * float64(n1))
+			want += float64((n2-e2)*(n2-e2)) / (float64(s1) * float64(n2))
+		}
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("trial %d: Lemma 6 = %v, Lemma 5 = %v (spec %+v)", trial, got, want, c)
+		}
+	}
+}
+
+func TestDeltaTableRow1(t *testing.T) {
+	// §5.2 table, row 1: n=(20,30,20), e=(10,10,10), s=(20,20) -> 1.54%.
+	c := ChainSpec{GroupSizes: []int{20, 30, 20}, Exclusive: []int{10, 10, 10}, Shared: []int{20, 20}}
+	_, pct, err := c.Delta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pct-1.538) > 0.01 {
+		t.Errorf("Delta%% = %v, want ~1.54 (paper row 1)", pct)
+	}
+}
+
+func TestDeltaTableRow5(t *testing.T) {
+	// §5.2 table, row 5: e=(10,20,10), s=(15,15) -> paper prints 7.23; the
+	// formulas give 7.27 (see EXPERIMENTS.md).
+	c := ChainSpec{GroupSizes: []int{20, 30, 20}, Exclusive: []int{10, 20, 10}, Shared: []int{15, 15}}
+	_, pct, err := c.Delta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pct-7.27) > 0.02 {
+		t.Errorf("Delta%% = %v, want ~7.27", pct)
+	}
+}
+
+func TestDeltaTableRows2to4Inconsistent(t *testing.T) {
+	// Rows 2-4 as printed violate Σe+Σs = Σn (70) — they sum to 80. The
+	// validator must reject them; EXPERIMENTS.md documents the discrepancy.
+	for _, c := range []ChainSpec{
+		{GroupSizes: []int{20, 30, 20}, Exclusive: []int{15, 10, 10}, Shared: []int{25, 20}},
+		{GroupSizes: []int{20, 30, 20}, Exclusive: []int{15, 10, 5}, Shared: []int{25, 25}},
+		{GroupSizes: []int{20, 30, 20}, Exclusive: []int{15, 6, 5}, Shared: []int{27, 27}},
+	} {
+		if err := c.Validate(); err == nil {
+			t.Errorf("spec %+v: want validation error (sizes sum to 80, domain is 70)", c)
+		}
+	}
+}
+
+func TestChainValidation(t *testing.T) {
+	cases := []ChainSpec{
+		{},
+		{GroupSizes: []int{5}, Exclusive: []int{4}},                               // n1 != e1
+		{GroupSizes: []int{5, 3}, Exclusive: []int{3, 2}},                         // missing shared
+		{GroupSizes: []int{5, 3}, Exclusive: []int{6, 2}, Shared: []int{0}},       // a1 < 0
+		{GroupSizes: []int{5, 3}, Exclusive: []int{1, 2}, Shared: []int{2}},       // a1 > s1
+		{GroupSizes: []int{0, 3}, Exclusive: []int{0, 3}, Shared: []int{0}},       // empty group
+		{GroupSizes: []int{5, 3}, Exclusive: []int{3, -1}, Shared: []int{3}},      // negative
+		{GroupSizes: []int{5, 3, 2}, Exclusive: []int{3, 2, 2}, Shared: []int{3}}, // wrong shared len
+	}
+	for i, c := range cases {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d (%+v): want validation error", i, c)
+		}
+	}
+	ok := ChainSpec{GroupSizes: []int{5}, Exclusive: []int{5}}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("single exclusive group: %v", err)
+	}
+	if ok.Items() != 5 {
+		t.Errorf("Items = %d, want 5", ok.Items())
+	}
+	e, err := ok.ExpectedCracks()
+	if err != nil || e != 1 {
+		t.Errorf("single-group chain E(X) = %v (%v), want 1 (Lemma 1 within the group)", e, err)
+	}
+}
+
+// randomChain draws a feasible random chain with n <= maxItems.
+func randomChain(rng *rand.Rand, maxK, maxGroup int) ChainSpec {
+	for {
+		k := 1 + rng.Intn(maxK)
+		spec := ChainSpec{
+			GroupSizes: make([]int, k),
+			Exclusive:  make([]int, k),
+			Shared:     make([]int, k-1),
+		}
+		prevB := 0
+		ok := true
+		for i := 0; i < k-1; i++ {
+			ni := 1 + rng.Intn(maxGroup)
+			if ni < prevB {
+				ok = false
+				break
+			}
+			ai := rng.Intn(ni - prevB + 1)
+			ei := ni - prevB - ai
+			bi := rng.Intn(3)
+			spec.GroupSizes[i] = ni
+			spec.Exclusive[i] = ei
+			spec.Shared[i] = ai + bi
+			prevB = bi
+		}
+		if !ok {
+			continue
+		}
+		ek := rng.Intn(maxGroup)
+		spec.GroupSizes[k-1] = ek + prevB
+		spec.Exclusive[k-1] = ek
+		if spec.GroupSizes[k-1] == 0 {
+			continue
+		}
+		if spec.Validate() != nil {
+			continue
+		}
+		return spec
+	}
+}
+
+func TestChainRealizeStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		spec := randomChain(rng, 4, 5)
+		k := len(spec.GroupSizes)
+		m := 100
+		counts := make([]int, k)
+		for i := range counts {
+			counts[i] = (i + 1) * 10
+		}
+		ft, bf, err := spec.Realize(m, counts)
+		if err != nil {
+			t.Fatalf("trial %d: Realize(%+v): %v", trial, spec, err)
+		}
+		if ft.NItems != spec.Items() {
+			t.Fatalf("trial %d: realized %d items, want %d", trial, ft.NItems, spec.Items())
+		}
+		gr := dataset.GroupItems(ft)
+		if gr.NumGroups() != k {
+			t.Fatalf("trial %d: realized %d groups, want %d", trial, gr.NumGroups(), k)
+		}
+		for i, g := range gr.Groups {
+			if len(g.Items) != spec.GroupSizes[i] {
+				t.Fatalf("trial %d: group %d size %d, want %d", trial, i, len(g.Items), spec.GroupSizes[i])
+			}
+		}
+		if !bf.IsCompliant(ft.Frequencies()) {
+			t.Fatalf("trial %d: realized belief function is not compliant", trial)
+		}
+	}
+}
+
+func TestChainRealizeValidation(t *testing.T) {
+	c := Figure4aChain()
+	if _, _, err := c.Realize(10, []int{3}); err == nil {
+		t.Error("wrong count length: want error")
+	}
+	if _, _, err := c.Realize(10, []int{7, 3}); err == nil {
+		t.Error("non-increasing counts: want error")
+	}
+	bad := ChainSpec{GroupSizes: []int{2}, Exclusive: []int{1}}
+	if _, _, err := bad.Realize(10, []int{3}); err == nil {
+		t.Error("invalid spec: want error")
+	}
+}

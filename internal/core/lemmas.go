@@ -1,0 +1,68 @@
+// Package core implements the analytical contribution of Lakshmanan, Ng and
+// Ramesh, "To Do or Not To Do: The Dilemma of Disclosing Anonymized Data"
+// (SIGMOD 2005): closed-form expected-crack counts for the extreme belief
+// functions (Lemmas 1–4), the exact chain formulas (Lemmas 5–6), the
+// permanent-based direct method (Section 4.1), and the O-estimate heuristic
+// with degree-1 propagation (Section 5).
+//
+// Throughout, the risk model is the paper's: the hacker draws a crack mapping
+// uniformly at random from the perfect matchings of the consistency graph,
+// and the owner's risk is the expected number of cracked (correctly
+// re-identified) items.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+)
+
+// ExpectedCracksIgnorant returns the expected number of cracks when the
+// hacker holds the ignorant belief function (Lemma 1): exactly 1, regardless
+// of the domain size n, because each anonymized item is matched correctly
+// with probability 1/n in a uniform random permutation.
+func ExpectedCracksIgnorant(n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return 1
+}
+
+// ExpectedCracksIgnorantSubset returns the expected number of cracks among a
+// subset of n1 items of interest under the ignorant belief function
+// (Lemma 2): n1/n.
+func ExpectedCracksIgnorantSubset(n, n1 int) (float64, error) {
+	if n <= 0 || n1 < 0 || n1 > n {
+		return 0, fmt.Errorf("core: invalid subset size %d of %d", n1, n)
+	}
+	return float64(n1) / float64(n), nil
+}
+
+// ExpectedCracksPointValued returns the expected number of cracks under the
+// compliant point-valued belief function (Lemma 3): g, the number of distinct
+// observed frequencies. Items sharing a frequency camouflage one another;
+// within each group the situation reduces to Lemma 1.
+func ExpectedCracksPointValued(gr *dataset.Grouping) float64 {
+	return float64(gr.NumGroups())
+}
+
+// ExpectedCracksPointValuedSubset returns the expected number of cracks among
+// the items of interest under the compliant point-valued belief function
+// (Lemma 4): Σ_i c_i/n_i, where c_i counts interesting items in frequency
+// group i of size n_i. interest[x] marks the items the owner cares about.
+func ExpectedCracksPointValuedSubset(gr *dataset.Grouping, interest []bool) (float64, error) {
+	if len(interest) != gr.NumItems() {
+		return 0, fmt.Errorf("core: interest mask has %d entries, want %d", len(interest), gr.NumItems())
+	}
+	total := 0.0
+	for _, g := range gr.Groups {
+		c := 0
+		for _, x := range g.Items {
+			if interest[x] {
+				c++
+			}
+		}
+		total += float64(c) / float64(len(g.Items))
+	}
+	return total, nil
+}

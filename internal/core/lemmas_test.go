@@ -1,0 +1,83 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func mustTable(t testing.TB, m int, counts []int) *dataset.FrequencyTable {
+	t.Helper()
+	ft, err := dataset.NewTable(m, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ft
+}
+
+// bigMartTable: the paper's Figure 1 example, support counts (5,4,5,5,3,5)
+// over 10 transactions.
+func bigMartTable(t testing.TB) *dataset.FrequencyTable {
+	return mustTable(t, 10, []int{5, 4, 5, 5, 3, 5})
+}
+
+func TestLemma1(t *testing.T) {
+	for _, n := range []int{1, 2, 10, 100000} {
+		if got := ExpectedCracksIgnorant(n); got != 1 {
+			t.Errorf("ExpectedCracksIgnorant(%d) = %v, want 1", n, got)
+		}
+	}
+	if got := ExpectedCracksIgnorant(0); got != 0 {
+		t.Errorf("ExpectedCracksIgnorant(0) = %v, want 0", got)
+	}
+}
+
+func TestLemma2(t *testing.T) {
+	got, err := ExpectedCracksIgnorantSubset(100, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0.25 {
+		t.Errorf("subset cracks = %v, want 0.25", got)
+	}
+	if _, err := ExpectedCracksIgnorantSubset(10, 11); err == nil {
+		t.Error("n1 > n: want error")
+	}
+	if _, err := ExpectedCracksIgnorantSubset(0, 0); err == nil {
+		t.Error("n = 0: want error")
+	}
+}
+
+func TestLemma3BigMart(t *testing.T) {
+	gr := dataset.GroupItems(bigMartTable(t))
+	if got := ExpectedCracksPointValued(gr); got != 3 {
+		t.Errorf("E(X) = %v, want 3 (groups at .3, .4, .5)", got)
+	}
+}
+
+func TestLemma4(t *testing.T) {
+	gr := dataset.GroupItems(bigMartTable(t))
+	// Interested in item 4 (freq .3, group of size 1) and item 0 (freq .5,
+	// group of size 4): expect 1/1 + 1/4.
+	interest := []bool{true, false, false, false, true, false}
+	got, err := ExpectedCracksPointValuedSubset(gr, interest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1.25) > 1e-12 {
+		t.Errorf("subset E(X) = %v, want 1.25", got)
+	}
+	// All items of interest reduces to Lemma 3.
+	all := []bool{true, true, true, true, true, true}
+	got, err = ExpectedCracksPointValuedSubset(gr, all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-3) > 1e-12 {
+		t.Errorf("full-interest E(X) = %v, want 3 (Lemma 3)", got)
+	}
+	if _, err := ExpectedCracksPointValuedSubset(gr, []bool{true}); err == nil {
+		t.Error("short mask: want error")
+	}
+}

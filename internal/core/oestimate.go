@@ -1,0 +1,139 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/belief"
+	"repro/internal/bipartite"
+	"repro/internal/dataset"
+)
+
+// OEOptions configures the O-estimate computation.
+type OEOptions struct {
+	// Propagate applies the degree-1 propagation of Figure 7 before reading
+	// outdegrees, as Section 5.2 recommends. Propagation can prove the graph
+	// infeasible for (very) non-compliant belief functions; OEstimate then
+	// returns bipartite.ErrInfeasible.
+	Propagate bool
+	// Mask, when non-nil, restricts the summation to the marked items. The
+	// Assess-Risk recipe uses it to evaluate α-compliant belief functions
+	// without perturbing intervals: excluded items are treated as
+	// non-compliant and contribute nothing (Section 5.3).
+	Mask []bool
+	// Interest, when non-nil, counts only the marked items in the estimate —
+	// the owner's "items of interest" of Lemmas 2 and 4 (e.g. only the
+	// frequent items, or the high-margin products). Unlike Mask, uninterest-
+	// ing items still participate in the graph and in propagation; they are
+	// merely not counted.
+	Interest []bool
+}
+
+// OEResult carries the O-estimate and the evidence behind it.
+type OEResult struct {
+	Value     float64 // OE(β, D) = Σ 1/O_x over crackable items
+	Outdeg    []int   // per-item outdegree used in the sum (post-propagation when enabled)
+	Crackable []bool  // items that contributed (compliant, unmasked, still reachable)
+	Forced    int     // propagation-forced edges (0 without propagation)
+	Rounds    int     // propagation rounds (0 without propagation)
+}
+
+// Fraction returns the O-estimate as a fraction of the domain size, the unit
+// of Figure 11's y-axis.
+func (r *OEResult) Fraction() float64 {
+	if len(r.Outdeg) == 0 {
+		return 0
+	}
+	return r.Value / float64(len(r.Outdeg))
+}
+
+// OEstimate computes the O-estimate heuristic of Figure 5:
+//
+//	OE(β, D) = Σ_{x ∈ I_C} 1 / O_x
+//
+// where O_x is the outdegree of item x in the consistency graph and I_C the
+// set of items on which β is compliant (all of I for compliant functions).
+// Non-compliant items cannot be cracked by any consistent mapping and
+// contribute zero (Section 5.3). Runs in O(n log n) over frequency groups.
+func OEstimate(bf *belief.Function, ft *dataset.FrequencyTable, opts OEOptions) (*OEResult, error) {
+	if opts.Mask != nil && len(opts.Mask) != ft.NItems {
+		return nil, fmt.Errorf("core: mask has %d entries, want %d", len(opts.Mask), ft.NItems)
+	}
+	g, err := bipartite.Build(bf, dataset.GroupItems(ft))
+	if err != nil {
+		return nil, err
+	}
+	return OEstimateGraph(g, opts)
+}
+
+// OEstimateGraph computes the O-estimate directly from a prebuilt graph.
+// This is the "second level" generalization the paper highlights in
+// Section 8.1: once a bipartite consistency graph is set up — by belief
+// functions over frequencies or by any other kind of partial information —
+// the estimate applies unchanged.
+func OEstimateGraph(g *bipartite.Graph, opts OEOptions) (*OEResult, error) {
+	n := g.Items()
+	if opts.Mask != nil && len(opts.Mask) != n {
+		return nil, fmt.Errorf("core: mask has %d entries, want %d", len(opts.Mask), n)
+	}
+	if opts.Interest != nil && len(opts.Interest) != n {
+		return nil, fmt.Errorf("core: interest mask has %d entries, want %d", len(opts.Interest), n)
+	}
+	counted := func(x int) bool { return opts.Interest == nil || opts.Interest[x] }
+	res := &OEResult{Crackable: make([]bool, n)}
+
+	if !opts.Propagate {
+		res.Outdeg = g.Outdegrees()
+		for x := 0; x < n; x++ {
+			if !g.Compliant(x) || (opts.Mask != nil && !opts.Mask[x]) {
+				continue
+			}
+			res.Crackable[x] = true
+			if counted(x) {
+				res.Value += 1 / float64(res.Outdeg[x])
+			}
+		}
+		return res, nil
+	}
+
+	p, err := g.Propagate()
+	if err != nil {
+		return nil, err
+	}
+	res.Outdeg = p.Outdeg
+	res.Forced = len(p.Forced)
+	res.Rounds = p.Rounds
+	// An anonymized item consumed by a forced pair can no longer crack its
+	// own original unless the pair *is* the crack.
+	forcedItem := make([]bool, n)
+	crackForced := make([]bool, n)
+	anonConsumed := make([]bool, n)
+	for _, fp := range p.Forced {
+		forcedItem[fp.Item] = true
+		anonConsumed[fp.Anon] = true
+		if fp.Anon == fp.Item {
+			crackForced[fp.Item] = true
+		}
+	}
+	for x := 0; x < n; x++ {
+		if opts.Mask != nil && !opts.Mask[x] {
+			continue
+		}
+		switch {
+		case crackForced[x]:
+			res.Crackable[x] = true
+			if counted(x) {
+				res.Value++ // cracked in every consistent mapping
+			}
+		case forcedItem[x]:
+			// Forced to a different anonymized item: never cracked.
+		case !g.Compliant(x) || anonConsumed[x]:
+			// Its own twin is unreachable.
+		default:
+			res.Crackable[x] = true
+			if counted(x) {
+				res.Value += 1 / float64(p.Outdeg[x])
+			}
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bipartite"
+)
+
+// OEstimateExplicit computes the O-estimate on an explicit bipartite graph —
+// the Section 8.1 generalization: whenever a space of consistent crack
+// mappings has been set up as a bipartite graph, by whatever kind of partial
+// information, OE = Σ 1/O_x over the items whose own anonymized counterpart
+// remains reachable. Options behave as in OEstimateGraph.
+func OEstimateExplicit(e *bipartite.Explicit, opts OEOptions) (*OEResult, error) {
+	n := e.N
+	if opts.Mask != nil && len(opts.Mask) != n {
+		return nil, fmt.Errorf("core: mask has %d entries, want %d", len(opts.Mask), n)
+	}
+	if opts.Interest != nil && len(opts.Interest) != n {
+		return nil, fmt.Errorf("core: interest mask has %d entries, want %d", len(opts.Interest), n)
+	}
+	counted := func(x int) bool { return opts.Interest == nil || opts.Interest[x] }
+	res := &OEResult{Crackable: make([]bool, n)}
+
+	indeg := make([]int, n)
+	diag := make([]bool, n)
+	for w := 0; w < n; w++ {
+		for _, x := range e.Adj[w] {
+			indeg[x]++
+			if w == x {
+				diag[x] = true
+			}
+		}
+	}
+
+	if !opts.Propagate {
+		res.Outdeg = indeg
+		for x := 0; x < n; x++ {
+			if !diag[x] || (opts.Mask != nil && !opts.Mask[x]) {
+				continue
+			}
+			res.Crackable[x] = true
+			if counted(x) {
+				res.Value += 1 / float64(indeg[x])
+			}
+		}
+		return res, nil
+	}
+
+	p, err := e.Propagate()
+	if err != nil {
+		return nil, err
+	}
+	res.Outdeg = p.Outdeg
+	res.Forced = len(p.Forced)
+	res.Rounds = p.Rounds
+	forcedItem := make([]bool, n)
+	crackForced := make([]bool, n)
+	anonConsumed := make([]bool, n)
+	for _, fp := range p.Forced {
+		forcedItem[fp.Item] = true
+		anonConsumed[fp.Anon] = true
+		if fp.Anon == fp.Item {
+			crackForced[fp.Item] = true
+		}
+	}
+	for x := 0; x < n; x++ {
+		if opts.Mask != nil && !opts.Mask[x] {
+			continue
+		}
+		switch {
+		case crackForced[x]:
+			res.Crackable[x] = true
+			if counted(x) {
+				res.Value++
+			}
+		case forcedItem[x] || !diag[x] || anonConsumed[x]:
+			// Either pinned to a different twin, or its twin is unreachable.
+		default:
+			res.Crackable[x] = true
+			if counted(x) {
+				res.Value += 1 / float64(p.Outdeg[x])
+			}
+		}
+	}
+	return res, nil
+}

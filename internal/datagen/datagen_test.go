@@ -1,0 +1,317 @@
+package datagen
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestSampleDistinct(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		m := 1 + rng.Intn(50)
+		c := rng.Intn(m + 1)
+		got := SampleDistinct(m, c, rng)
+		if len(got) != c {
+			t.Fatalf("SampleDistinct(%d,%d) returned %d values", m, c, len(got))
+		}
+		seen := map[int]bool{}
+		for _, v := range got {
+			if v < 0 || v >= m || seen[v] {
+				t.Fatalf("SampleDistinct(%d,%d) invalid value %d (out of range or dup)", m, c, v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestSampleDistinctUniform(t *testing.T) {
+	// Each element should be included with probability c/m.
+	rng := rand.New(rand.NewSource(2))
+	m, c, trials := 10, 3, 30000
+	hits := make([]int, m)
+	for i := 0; i < trials; i++ {
+		for _, v := range SampleDistinct(m, c, rng) {
+			hits[v]++
+		}
+	}
+	want := float64(trials) * float64(c) / float64(m)
+	for v, h := range hits {
+		if float64(h) < want*0.93 || float64(h) > want*1.07 {
+			t.Errorf("element %d hit %d times, want ~%v", v, h, want)
+		}
+	}
+}
+
+func TestSampleDistinctPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic for c > m")
+		}
+	}()
+	SampleDistinct(3, 4, rand.New(rand.NewSource(1)))
+}
+
+func TestProfileCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p := Profile{Name: "toy", Items: 500, Transactions: 1000, MinCount: 1, MaxCount: 900, Skew: 3}
+	ft, err := p.Counts(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ft.NItems != 500 || ft.NTransactions != 1000 {
+		t.Fatalf("table shape (%d,%d)", ft.NItems, ft.NTransactions)
+	}
+	for x, c := range ft.Counts {
+		if c < 1 || c > 900 {
+			t.Fatalf("count[%d] = %d outside [1,900]", x, c)
+		}
+	}
+	// Skew 3 pushes the median well below the midpoint.
+	med := dataset.Median(ft.Frequencies())
+	if med > 0.45 {
+		t.Errorf("median frequency %v, want < 0.45 under skew 3", med)
+	}
+}
+
+func TestProfileValidate(t *testing.T) {
+	bad := []Profile{
+		{Name: "a", Items: 0, Transactions: 10, MinCount: 1, MaxCount: 5, Skew: 1},
+		{Name: "b", Items: 5, Transactions: 10, MinCount: 6, MaxCount: 5, Skew: 1},
+		{Name: "c", Items: 5, Transactions: 10, MinCount: 1, MaxCount: 11, Skew: 1},
+		{Name: "d", Items: 5, Transactions: 10, MinCount: 1, MaxCount: 5, Skew: 0},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("profile %s: want validation error", p.Name)
+		}
+	}
+}
+
+func TestPlantDatabaseRealizesCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ft, err := dataset.NewTable(50, []int{50, 25, 10, 1, 0, 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := PlantDatabase(ft, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := db.SupportCounts()
+	for x, want := range ft.Counts {
+		if got[x] != want {
+			t.Errorf("planted count[%d] = %d, want %d", x, got[x], want)
+		}
+	}
+	if db.Transactions() > 50 {
+		t.Errorf("planted %d transactions, want <= 50", db.Transactions())
+	}
+	// Every transaction non-empty by construction of PlantDatabase.
+	for i := 0; i < db.Transactions(); i++ {
+		if len(db.Transaction(i)) == 0 {
+			t.Fatal("empty transaction survived planting")
+		}
+	}
+}
+
+func TestPlantDatabaseAllZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	ft, err := dataset.NewTable(10, []int{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PlantDatabase(ft, rng); err == nil {
+		t.Error("all-zero counts: want error")
+	}
+}
+
+func TestGroupPlanExactStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, p := range Benchmarks() {
+		ft, err := p.Counts(rng)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		s := dataset.ComputeStats(p.Name, ft)
+		if s.NItems != p.Items || s.NTransactions != p.Transactions {
+			t.Errorf("%s: shape (%d,%d), want (%d,%d)", p.Name, s.NItems, s.NTransactions, p.Items, p.Transactions)
+		}
+		if s.NGroups != p.Groups {
+			t.Errorf("%s: %d groups, want %d", p.Name, s.NGroups, p.Groups)
+		}
+		if s.Singleton != p.Singletons {
+			t.Errorf("%s: %d singletons, want %d", p.Name, s.Singleton, p.Singletons)
+		}
+		// Gap statistics should land in a band around the targets.
+		if s.MeanGap < 0.5*p.MeanGapFreq || s.MeanGap > 1.5*p.MeanGapFreq {
+			t.Errorf("%s: mean gap %v, want within 50%% of %v", p.Name, s.MeanGap, p.MeanGapFreq)
+		}
+		if s.MedianGap < p.MedianGapFreq/5 || s.MedianGap > p.MedianGapFreq*5 {
+			t.Errorf("%s: median gap %v, want within 5x of %v", p.Name, s.MedianGap, p.MedianGapFreq)
+		}
+	}
+}
+
+func TestGroupPlanValidate(t *testing.T) {
+	bad := []GroupPlan{
+		{Name: "a", Items: 0, Transactions: 10, Groups: 1},
+		{Name: "b", Items: 5, Transactions: 10, Groups: 6, Singletons: 6},
+		{Name: "c", Items: 5, Transactions: 10, Groups: 3, Singletons: 4},
+		{Name: "d", Items: 5, Transactions: 10, Groups: 5, Singletons: 3},                                       // g=n needs all singletons
+		{Name: "e", Items: 5, Transactions: 10, Groups: 3, Singletons: 3},                                       // extra items, no room
+		{Name: "f", Items: 5, Transactions: 10, Groups: 3, Singletons: 2, MedianGapFreq: 0, MeanGapFreq: 0},     // gaps
+		{Name: "g", Items: 5, Transactions: 10, Groups: 3, Singletons: 2, MedianGapFreq: 0.5, MeanGapFreq: 0.1}, // mean < median
+		{Name: "h", Items: 50, Transactions: 10, Groups: 20, Singletons: 10, MedianGapFreq: 1, MeanGapFreq: 1},  // too many groups
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("plan %s: want validation error", p.Name)
+		}
+	}
+	ok := GroupPlan{Name: "ok", Items: 10, Transactions: 100, Groups: 4, Singletons: 2,
+		MedianGapFreq: 0.05, MeanGapFreq: 0.1}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid plan rejected: %v", err)
+	}
+}
+
+func TestGroupPlanSingleGroup(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	p := GroupPlan{Name: "one", Items: 7, Transactions: 50, Groups: 1, Singletons: 0}
+	ft, err := p.Counts(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr := dataset.GroupItems(ft)
+	if gr.NumGroups() != 1 {
+		t.Errorf("groups = %d, want 1", gr.NumGroups())
+	}
+}
+
+func TestGroupPlanDatabase(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	p := GroupPlan{Name: "db", Items: 40, Transactions: 200, Groups: 10, Singletons: 5,
+		MedianGapFreq: 0.02, MeanGapFreq: 0.05}
+	db, err := p.Database(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr := dataset.GroupItems(db.Table())
+	if gr.NumGroups() < 9 || gr.NumGroups() > 11 {
+		t.Errorf("database groups = %d, want ~10", gr.NumGroups())
+	}
+}
+
+func TestQuestGenerator(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	db, err := Quest(QuestConfig{Items: 30, Transactions: 500}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Transactions() != 500 || db.Items() != 30 {
+		t.Fatalf("quest shape (%d,%d)", db.Items(), db.Transactions())
+	}
+	for i := 0; i < db.Transactions(); i++ {
+		if len(db.Transaction(i)) == 0 {
+			t.Fatal("quest produced an empty transaction")
+		}
+	}
+	// Correlation: the most popular pattern's items should co-occur far more
+	// often than independent items would. Crude check: some pair co-occurs in
+	// >= 10% of transactions.
+	best := 0
+	for a := 0; a < 30; a++ {
+		for b := a + 1; b < 30; b++ {
+			co := 0
+			for i := 0; i < db.Transactions(); i++ {
+				tx := db.Transaction(i)
+				hasA, hasB := false, false
+				for _, x := range tx {
+					if int(x) == a {
+						hasA = true
+					}
+					if int(x) == b {
+						hasB = true
+					}
+				}
+				if hasA && hasB {
+					co++
+				}
+			}
+			if co > best {
+				best = co
+			}
+		}
+	}
+	if best < 50 {
+		t.Errorf("max pair co-occurrence %d/500, want >= 50 (correlated patterns)", best)
+	}
+	if _, err := Quest(QuestConfig{Items: 1, Transactions: 5}, rng); err == nil {
+		t.Error("quest with 1 item: want error")
+	}
+}
+
+func TestClusterTailPreservesMultiset(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		n := 4 + rng.Intn(40)
+		gaps := make([]float64, n)
+		for i := range gaps {
+			gaps[i] = rng.Float64()
+		}
+		orig := append([]float64(nil), gaps...)
+		// Sort then cluster, as Counts does.
+		sortFloats(gaps)
+		clusterTail(gaps, rng.Float64())
+		a := append([]float64(nil), orig...)
+		b := append([]float64(nil), gaps...)
+		sortFloats(a)
+		sortFloats(b)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("trial %d: multiset changed", trial)
+			}
+		}
+	}
+	// No-ops.
+	short := []float64{3, 1}
+	clusterTail(short, 1)
+	if short[0] != 3 || short[1] != 1 {
+		t.Error("clusterTail modified a short slice")
+	}
+}
+
+func TestGroupPlanWithClusterKeepsStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	p := ACCIDENTS
+	p.GapCluster = 1.0
+	ft, err := p.Counts(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := dataset.ComputeStats(p.Name, ft)
+	if s.NGroups != p.Groups || s.Singleton != p.Singletons {
+		t.Errorf("clustered plan groups/singletons = %d/%d, want %d/%d",
+			s.NGroups, s.Singleton, p.Groups, p.Singletons)
+	}
+	if s.MedianGap < p.MedianGapFreq/5 || s.MedianGap > p.MedianGapFreq*5 {
+		t.Errorf("clustered median gap %v, want within 5x of %v", s.MedianGap, p.MedianGapFreq)
+	}
+}
+
+func TestQuestTinyDomainTerminates(t *testing.T) {
+	// Regression: pattern lengths drawn above the domain size used to loop
+	// forever collecting distinct items.
+	rng := rand.New(rand.NewSource(13))
+	for items := 2; items <= 6; items++ {
+		db, err := Quest(QuestConfig{Items: items, Transactions: 50, MeanPatternLen: 8}, rng)
+		if err != nil {
+			t.Fatalf("items=%d: %v", items, err)
+		}
+		if db.Transactions() != 50 {
+			t.Fatalf("items=%d: %d transactions", items, db.Transactions())
+		}
+	}
+}

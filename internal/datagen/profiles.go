@@ -1,0 +1,47 @@
+package datagen
+
+// The six benchmark plans below are instantiated directly from the paper's
+// Figure 9: domain size, transaction count, number of frequency groups,
+// number of singleton groups and the median/mean gap between successive
+// groups are the published values, so the generated support-count structure
+// matches the real UCI/FIMI datasets on every statistic the risk analysis
+// consumes. EXPERIMENTS.md lists measured-vs-paper values per dataset.
+var (
+	// CONNECT: 130 items, dense; almost every item in its own group.
+	CONNECT = GroupPlan{Name: "CONNECT", Items: 130, Transactions: 67557,
+		Groups: 125, Singletons: 122, MedianGapFreq: 0.0029, MeanGapFreq: 0.0081, MaxGapFreq: 0.0519}
+	// PUMSB: census data; a dense cluster of near-adjacent counts plus a
+	// long high-frequency tail.
+	PUMSB = GroupPlan{Name: "PUMSB", Items: 2113, Transactions: 49046,
+		Groups: 650, Singletons: 421, MedianGapFreq: 0.000041, MeanGapFreq: 0.00154, MaxGapFreq: 0.0536}
+	// ACCIDENTS: many transactions, moderately many items, strong skew.
+	ACCIDENTS = GroupPlan{Name: "ACCIDENTS", Items: 469, Transactions: 340184,
+		Groups: 310, Singletons: 286, MedianGapFreq: 0.000176, MeanGapFreq: 0.00324, MaxGapFreq: 0.04966}
+	// RETAIL: the paper's "sparse" outlier — a huge domain where most items
+	// have tiny support, piling into consecutive low counts (median gap is
+	// the minimum possible, one transaction).
+	RETAIL = GroupPlan{Name: "RETAIL", Items: 16470, Transactions: 88163,
+		Groups: 582, Singletons: 218, MedianGapFreq: 0.0000113, MeanGapFreq: 0.00099, MaxGapFreq: 0.30102}
+	// MUSHROOM: small domain, mostly-distinct counts with some collisions.
+	MUSHROOM = GroupPlan{Name: "MUSHROOM", Items: 120, Transactions: 8124,
+		Groups: 90, Singletons: 77, MedianGapFreq: 0.00394, MeanGapFreq: 0.01124, MaxGapFreq: 0.1477}
+	// CHESS: tiny dense domain, counts spread nearly uniformly.
+	CHESS = GroupPlan{Name: "CHESS", Items: 75, Transactions: 3196,
+		Groups: 73, Singletons: 71, MedianGapFreq: 0.00657, MeanGapFreq: 0.01389, MaxGapFreq: 0.0494}
+)
+
+// Benchmarks lists the six plans in the order of Figure 9.
+func Benchmarks() []GroupPlan {
+	return []GroupPlan{CONNECT, PUMSB, ACCIDENTS, RETAIL, MUSHROOM, CHESS}
+}
+
+// ByName returns the benchmark plan with the given (case-insensitive by
+// upper-casing convention — names are stored upper-case) name.
+func ByName(name string) (GroupPlan, bool) {
+	for _, p := range Benchmarks() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return GroupPlan{}, false
+}

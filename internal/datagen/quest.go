@@ -1,0 +1,111 @@
+package datagen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/dataset"
+)
+
+// QuestConfig parameterizes a correlated transaction generator in the spirit
+// of the IBM QUEST synthetic data generator used throughout the frequent-set
+// mining literature: transactions are unions of a few "potentially large"
+// itemsets drawn from a Zipf-weighted pool, plus uniform noise. Unlike the
+// planted-count generators, QUEST data contains genuine multi-item patterns,
+// which the mining examples (and the fim package benchmarks) need.
+type QuestConfig struct {
+	Items           int     // domain size n
+	Transactions    int     // number of transactions to generate
+	Patterns        int     // size of the pattern pool (default 20)
+	MeanPatternLen  int     // average pattern length (default 4)
+	PatternsPerTx   int     // average patterns unioned per transaction (default 2)
+	NoiseItemsPerTx int     // average uniform noise items per transaction (default 1)
+	Zipf            float64 // pattern popularity skew (default 1.0)
+}
+
+func (c QuestConfig) withDefaults() QuestConfig {
+	if c.Patterns <= 0 {
+		c.Patterns = 20
+	}
+	if c.MeanPatternLen <= 0 {
+		c.MeanPatternLen = 4
+	}
+	if c.PatternsPerTx <= 0 {
+		c.PatternsPerTx = 2
+	}
+	if c.NoiseItemsPerTx < 0 {
+		c.NoiseItemsPerTx = 1
+	}
+	if c.Zipf <= 0 {
+		c.Zipf = 1.0
+	}
+	return c
+}
+
+// Quest generates a correlated transaction database.
+func Quest(cfg QuestConfig, rng *rand.Rand) (*dataset.Database, error) {
+	if cfg.Items <= 1 || cfg.Transactions <= 0 {
+		return nil, fmt.Errorf("datagen: quest needs > 1 items and > 0 transactions")
+	}
+	cfg = cfg.withDefaults()
+
+	// Pattern pool: each pattern is a random itemset whose length is
+	// geometric-ish around the mean.
+	patterns := make([]dataset.Transaction, cfg.Patterns)
+	for i := range patterns {
+		l := 1 + rng.Intn(2*cfg.MeanPatternLen-1)
+		if l > cfg.Items {
+			l = cfg.Items // a pattern cannot exceed the domain
+		}
+		seen := map[dataset.Item]bool{}
+		for len(seen) < l {
+			seen[dataset.Item(rng.Intn(cfg.Items))] = true
+		}
+		for x := range seen {
+			patterns[i] = append(patterns[i], x)
+		}
+	}
+	// Zipf popularity weights.
+	weights := make([]float64, cfg.Patterns)
+	total := 0.0
+	for i := range weights {
+		weights[i] = 1 / math.Pow(float64(i+1), cfg.Zipf)
+		total += weights[i]
+	}
+	pick := func() int {
+		u := rng.Float64() * total
+		for i, w := range weights {
+			u -= w
+			if u <= 0 {
+				return i
+			}
+		}
+		return cfg.Patterns - 1
+	}
+
+	txs := make([]dataset.Transaction, 0, cfg.Transactions)
+	for len(txs) < cfg.Transactions {
+		items := map[dataset.Item]bool{}
+		k := 1 + rng.Intn(2*cfg.PatternsPerTx-1)
+		for p := 0; p < k; p++ {
+			for _, x := range patterns[pick()] {
+				items[x] = true
+			}
+		}
+		for nz := 0; nz < cfg.NoiseItemsPerTx; nz++ {
+			if rng.Float64() < 0.5 {
+				items[dataset.Item(rng.Intn(cfg.Items))] = true
+			}
+		}
+		if len(items) == 0 {
+			continue
+		}
+		tx := make(dataset.Transaction, 0, len(items))
+		for x := range items {
+			tx = append(tx, x)
+		}
+		txs = append(txs, tx)
+	}
+	return dataset.New(cfg.Items, txs)
+}

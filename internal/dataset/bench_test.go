@@ -1,0 +1,77 @@
+package dataset
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func benchTable(b *testing.B, n, m int) *FrequencyTable {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	counts := make([]int, n)
+	for i := range counts {
+		counts[i] = rng.Intn(m + 1)
+	}
+	ft, err := NewTable(m, counts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ft
+}
+
+func BenchmarkGroupItems16k(b *testing.B) {
+	ft := benchTable(b, 16470, 88163)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GroupItems(ft)
+	}
+}
+
+func BenchmarkComputeStats16k(b *testing.B) {
+	ft := benchTable(b, 16470, 88163)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ComputeStats("bench", ft)
+	}
+}
+
+func BenchmarkSampleCounts16k(b *testing.B) {
+	ft := benchTable(b, 16470, 88163)
+	rng := rand.New(rand.NewSource(2))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SampleCounts(ft, 0.1, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFIMIRoundTrip(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	var txs []Transaction
+	for i := 0; i < 5000; i++ {
+		l := 1 + rng.Intn(10)
+		tx := make(Transaction, l)
+		for j := range tx {
+			tx[j] = Item(rng.Intn(500))
+		}
+		txs = append(txs, tx)
+	}
+	db := MustNew(500, txs)
+	var buf bytes.Buffer
+	if err := WriteFIMI(&buf, db); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadFIMI(bytes.NewReader(raw), 500); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,247 @@
+package dataset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// bigMart is the paper's running example (Figure 1): six items, ten
+// transactions chosen so that the observed frequencies are (with the paper's
+// 1-based items mapped to ids 0..5) f(1)=f(3)=f(4)=f(6)=0.5, f(2)=0.4 and
+// f(5)=0.3 — support counts (5,4,5,5,3,5).
+func bigMart(t testing.TB) *Database {
+	t.Helper()
+	txs := []Transaction{
+		{0, 1, 2}, {0, 1, 2}, {0, 1, 3}, {0, 1, 3}, {0, 3, 5},
+		{2, 3, 5}, {2, 4, 5}, {2, 5}, {4, 5}, {3, 4},
+	}
+	db, err := New(6, txs)
+	if err != nil {
+		t.Fatalf("New(bigMart): %v", err)
+	}
+	counts := db.SupportCounts()
+	want := []int{5, 4, 5, 5, 3, 5}
+	for x, c := range want {
+		if counts[x] != c {
+			t.Fatalf("bigMart count[%d] = %d, want %d", x, counts[x], c)
+		}
+	}
+	return db
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, nil); err == nil {
+		t.Error("New(0, nil): want error for empty universe")
+	}
+	if _, err := New(3, []Transaction{{}}); err == nil {
+		t.Error("New with empty transaction: want error")
+	}
+	if _, err := New(3, []Transaction{{3}}); err == nil {
+		t.Error("New with out-of-range item: want error")
+	}
+	if _, err := New(3, []Transaction{{-1}}); err == nil {
+		t.Error("New with negative item: want error")
+	}
+}
+
+func TestNewSortsAndDedups(t *testing.T) {
+	db := MustNew(5, []Transaction{{3, 1, 3, 0, 1}})
+	got := db.Transaction(0)
+	want := Transaction{0, 1, 3}
+	if len(got) != len(want) {
+		t.Fatalf("transaction = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("transaction = %v, want %v", got, want)
+		}
+	}
+	if db.Size() != 3 {
+		t.Errorf("Size = %d, want 3", db.Size())
+	}
+}
+
+func TestSupportCountsBigMart(t *testing.T) {
+	db := bigMart(t)
+	counts := db.SupportCounts()
+	freqs := db.Frequencies()
+	// Compute truth directly from the transaction list instead of trusting a
+	// hand-derived table.
+	check := make([]int, 6)
+	for i := 0; i < db.Transactions(); i++ {
+		for _, x := range db.Transaction(i) {
+			check[x]++
+		}
+	}
+	for x := range check {
+		if counts[x] != check[x] {
+			t.Errorf("count[%d] = %d, want %d", x, counts[x], check[x])
+		}
+		if got := freqs[x]; got != float64(check[x])/10 {
+			t.Errorf("freq[%d] = %v, want %v", x, got, float64(check[x])/10)
+		}
+	}
+}
+
+func TestGroupingBigMart(t *testing.T) {
+	db := bigMart(t)
+	gr := GroupItems(db.Table())
+	// The BigMart example has three observed frequencies: 0.3, 0.4 and 0.5.
+	counts := db.SupportCounts()
+	distinct := map[int]bool{}
+	for _, c := range counts {
+		distinct[c] = true
+	}
+	if gr.NumGroups() != len(distinct) {
+		t.Fatalf("NumGroups = %d, want %d", gr.NumGroups(), len(distinct))
+	}
+	// Groups must be ordered by increasing frequency and partition the items.
+	seen := map[int]bool{}
+	prev := -1
+	for gi, g := range gr.Groups {
+		if g.Count <= prev {
+			t.Errorf("group %d count %d not increasing (prev %d)", gi, g.Count, prev)
+		}
+		prev = g.Count
+		for _, x := range g.Items {
+			if seen[x] {
+				t.Errorf("item %d appears in two groups", x)
+			}
+			seen[x] = true
+			if counts[x] != g.Count {
+				t.Errorf("item %d in group with count %d, has count %d", x, g.Count, counts[x])
+			}
+			if gr.GroupOf(x) != gi {
+				t.Errorf("GroupOf(%d) = %d, want %d", x, gr.GroupOf(x), gi)
+			}
+		}
+	}
+	if len(seen) != 6 {
+		t.Errorf("groups cover %d items, want 6", len(seen))
+	}
+}
+
+func TestGroupingGapsAndMedian(t *testing.T) {
+	ft, err := NewTable(10, []int{1, 3, 3, 7, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr := GroupItems(ft)
+	// Frequencies: 0.1, 0.3, 0.7, 0.9 -> gaps 0.2, 0.4, 0.2.
+	gaps := gr.Gaps()
+	want := []float64{0.2, 0.4, 0.2}
+	if len(gaps) != len(want) {
+		t.Fatalf("gaps = %v, want %v", gaps, want)
+	}
+	for i := range want {
+		if diff := gaps[i] - want[i]; diff > 1e-15 || diff < -1e-15 {
+			t.Errorf("gap[%d] = %v, want %v", i, gaps[i], want[i])
+		}
+	}
+	if got := gr.MedianGap(); got < 0.2-1e-12 || got > 0.2+1e-12 {
+		t.Errorf("MedianGap = %v, want 0.2", got)
+	}
+	if got := gr.MeanGap(); got < 0.26 || got > 0.27 {
+		t.Errorf("MeanGap = %v, want ~0.2667", got)
+	}
+	if gr.SingletonGroups() != 3 {
+		t.Errorf("SingletonGroups = %d, want 3", gr.SingletonGroups())
+	}
+}
+
+func TestGroupingSingleGroup(t *testing.T) {
+	ft, err := NewTable(4, []int{2, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr := GroupItems(ft)
+	if gr.NumGroups() != 1 {
+		t.Fatalf("NumGroups = %d, want 1", gr.NumGroups())
+	}
+	if gr.Gaps() != nil {
+		t.Errorf("Gaps = %v, want nil", gr.Gaps())
+	}
+	if gr.MedianGap() != 0 {
+		t.Errorf("MedianGap = %v, want 0", gr.MedianGap())
+	}
+}
+
+func TestNewTableValidation(t *testing.T) {
+	if _, err := NewTable(0, []int{1}); err == nil {
+		t.Error("NewTable(0): want error")
+	}
+	if _, err := NewTable(5, nil); err == nil {
+		t.Error("NewTable(empty counts): want error")
+	}
+	if _, err := NewTable(5, []int{6}); err == nil {
+		t.Error("NewTable(count > m): want error")
+	}
+	if _, err := NewTable(5, []int{-1}); err == nil {
+		t.Error("NewTable(negative count): want error")
+	}
+}
+
+func TestTableCloneIndependent(t *testing.T) {
+	ft, _ := NewTable(10, []int{1, 2, 3})
+	cp := ft.Clone()
+	cp.Counts[0] = 9
+	if ft.Counts[0] != 1 {
+		t.Error("Clone shares count storage with original")
+	}
+}
+
+func TestGroupingProperty(t *testing.T) {
+	// Property: for random count vectors, grouping partitions items and the
+	// number of groups equals the number of distinct counts.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		m := 1 + rng.Intn(50)
+		counts := make([]int, n)
+		for i := range counts {
+			counts[i] = rng.Intn(m + 1)
+		}
+		ft, err := NewTable(m, counts)
+		if err != nil {
+			return false
+		}
+		gr := GroupItems(ft)
+		distinct := map[int]bool{}
+		total := 0
+		for _, c := range counts {
+			distinct[c] = true
+		}
+		for _, g := range gr.Groups {
+			total += len(g.Items)
+		}
+		return gr.NumGroups() == len(distinct) && total == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := MustNew(4, []Transaction{{0, 1}, {2}})
+	b := MustNew(4, []Transaction{{3}, {1, 2}})
+	m, err := Merge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Transactions() != 4 || m.Items() != 4 {
+		t.Fatalf("merged shape (%d,%d)", m.Items(), m.Transactions())
+	}
+	ca, cb, cm := a.SupportCounts(), b.SupportCounts(), m.SupportCounts()
+	for x := range cm {
+		if cm[x] != ca[x]+cb[x] {
+			t.Errorf("count[%d] = %d, want %d", x, cm[x], ca[x]+cb[x])
+		}
+	}
+	if _, err := Merge(); err == nil {
+		t.Error("empty merge: want error")
+	}
+	if _, err := Merge(a, MustNew(3, []Transaction{{0}})); err == nil {
+		t.Error("universe mismatch: want error")
+	}
+}

@@ -1,0 +1,144 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// ReadFIMI parses a database in the FIMI workshop format: one transaction per
+// line, items as whitespace-separated non-negative integers. Blank lines are
+// skipped. The universe size is max(item)+1 unless a larger n is given
+// (pass n = 0 to infer).
+func ReadFIMI(r io.Reader, n int) (*Database, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	var txs []Transaction
+	maxItem := -1
+	line := 0
+	for sc.Scan() {
+		line++
+		fields := splitFields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		t := make(Transaction, 0, len(fields))
+		for _, f := range fields {
+			v, err := strconv.Atoi(f)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: line %d: %q is not an item id", line, f)
+			}
+			if v < 0 {
+				return nil, fmt.Errorf("dataset: line %d: negative item id %d", line, v)
+			}
+			if v > maxItem {
+				maxItem = v
+			}
+			t = append(t, Item(v))
+		}
+		txs = append(txs, t)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: reading FIMI input: %w", err)
+	}
+	if len(txs) == 0 {
+		return nil, fmt.Errorf("dataset: FIMI input contains no transactions")
+	}
+	if n <= maxItem {
+		n = maxItem + 1
+	}
+	return New(n, txs)
+}
+
+func splitFields(s string) []string {
+	var out []string
+	start := -1
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == ' ' || c == '\t' || c == '\r' {
+			if start >= 0 {
+				out = append(out, s[start:i])
+				start = -1
+			}
+		} else if start < 0 {
+			start = i
+		}
+	}
+	if start >= 0 {
+		out = append(out, s[start:])
+	}
+	return out
+}
+
+// WriteFIMI writes the database in FIMI format, one transaction per line.
+func WriteFIMI(w io.Writer, db *Database) error {
+	bw := bufio.NewWriter(w)
+	var buf []byte
+	for i := 0; i < db.Transactions(); i++ {
+		buf = buf[:0]
+		for j, x := range db.Transaction(i) {
+			if j > 0 {
+				buf = append(buf, ' ')
+			}
+			buf = strconv.AppendInt(buf, int64(x), 10)
+		}
+		buf = append(buf, '\n')
+		if _, err := bw.Write(buf); err != nil {
+			return fmt.Errorf("dataset: writing FIMI output: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadFIMICounts streams a FIMI-format database and returns only its
+// frequency table, without materializing transactions — the risk analyses
+// need nothing else, and this handles releases far larger than memory.
+// Duplicate items within a line are counted once, matching ReadFIMI's
+// de-duplication. Pass n = 0 to infer the universe from the data.
+func ReadFIMICounts(r io.Reader, n int) (*FrequencyTable, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	var counts []int
+	seenLine := map[int]bool{}
+	m := 0
+	line := 0
+	for sc.Scan() {
+		line++
+		fields := splitFields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		m++
+		for k := range seenLine {
+			delete(seenLine, k)
+		}
+		for _, f := range fields {
+			v, err := strconv.Atoi(f)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: line %d: %q is not an item id", line, f)
+			}
+			if v < 0 {
+				return nil, fmt.Errorf("dataset: line %d: negative item id %d", line, v)
+			}
+			if seenLine[v] {
+				continue
+			}
+			seenLine[v] = true
+			for v >= len(counts) {
+				counts = append(counts, 0)
+			}
+			counts[v]++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: reading FIMI input: %w", err)
+	}
+	if m == 0 {
+		return nil, fmt.Errorf("dataset: FIMI input contains no transactions")
+	}
+	for len(counts) < n {
+		counts = append(counts, 0)
+	}
+	return NewTable(m, counts)
+}

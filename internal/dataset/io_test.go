@@ -1,0 +1,286 @@
+package dataset
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestReadFIMIBasic(t *testing.T) {
+	in := "1 2 3\n0 2\n\n4\n"
+	db, err := ReadFIMI(strings.NewReader(in), 0)
+	if err != nil {
+		t.Fatalf("ReadFIMI: %v", err)
+	}
+	if db.Items() != 5 {
+		t.Errorf("Items = %d, want 5 (inferred from max id 4)", db.Items())
+	}
+	if db.Transactions() != 3 {
+		t.Errorf("Transactions = %d, want 3 (blank line skipped)", db.Transactions())
+	}
+	if got := db.Transaction(1); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Errorf("Transaction(1) = %v, want [0 2]", got)
+	}
+}
+
+func TestReadFIMIExplicitUniverse(t *testing.T) {
+	db, err := ReadFIMI(strings.NewReader("0 1\n"), 10)
+	if err != nil {
+		t.Fatalf("ReadFIMI: %v", err)
+	}
+	if db.Items() != 10 {
+		t.Errorf("Items = %d, want 10 (explicit universe)", db.Items())
+	}
+}
+
+func TestReadFIMIErrors(t *testing.T) {
+	for _, in := range []string{"a b\n", "1 -2\n", ""} {
+		if _, err := ReadFIMI(strings.NewReader(in), 0); err == nil {
+			t.Errorf("ReadFIMI(%q): want error", in)
+		}
+	}
+}
+
+func TestFIMIRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 40
+	var txs []Transaction
+	for i := 0; i < 100; i++ {
+		l := 1 + rng.Intn(8)
+		tx := make(Transaction, l)
+		for j := range tx {
+			tx[j] = Item(rng.Intn(n))
+		}
+		txs = append(txs, tx)
+	}
+	db := MustNew(n, txs)
+	var buf bytes.Buffer
+	if err := WriteFIMI(&buf, db); err != nil {
+		t.Fatalf("WriteFIMI: %v", err)
+	}
+	back, err := ReadFIMI(&buf, n)
+	if err != nil {
+		t.Fatalf("ReadFIMI(round trip): %v", err)
+	}
+	if back.Transactions() != db.Transactions() {
+		t.Fatalf("round trip transactions = %d, want %d", back.Transactions(), db.Transactions())
+	}
+	a, b := db.SupportCounts(), back.SupportCounts()
+	for x := range a {
+		if a[x] != b[x] {
+			t.Errorf("round trip count[%d] = %d, want %d", x, b[x], a[x])
+		}
+	}
+}
+
+func TestSampleBasic(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var txs []Transaction
+	for i := 0; i < 200; i++ {
+		txs = append(txs, Transaction{Item(i % 10)})
+	}
+	db := MustNew(10, txs)
+	s, err := Sample(db, 0.25, rng)
+	if err != nil {
+		t.Fatalf("Sample: %v", err)
+	}
+	if s.Transactions() != 50 {
+		t.Errorf("sample size = %d, want 50", s.Transactions())
+	}
+	if s.Items() != 10 {
+		t.Errorf("sample universe = %d, want 10", s.Items())
+	}
+	if _, err := Sample(db, 0, rng); err == nil {
+		t.Error("Sample(0): want error")
+	}
+	if _, err := Sample(db, 1.5, rng); err == nil {
+		t.Error("Sample(1.5): want error")
+	}
+}
+
+func TestSampleFullIsPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	db := MustNew(3, []Transaction{{0}, {1}, {2}, {0, 1}})
+	s, err := Sample(db, 1.0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Transactions() != 4 {
+		t.Fatalf("full sample has %d transactions, want 4", s.Transactions())
+	}
+	a, b := db.SupportCounts(), s.SupportCounts()
+	for x := range a {
+		if a[x] != b[x] {
+			t.Errorf("full sample count[%d] = %d, want %d", x, b[x], a[x])
+		}
+	}
+}
+
+func TestHypergeometricMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n, succ, k := 100, 30, 20
+	const trials = 20000
+	sum := 0
+	for i := 0; i < trials; i++ {
+		v := Hypergeometric(n, succ, k, rng)
+		if v < 0 || v > succ || v > k {
+			t.Fatalf("Hypergeometric out of range: %d", v)
+		}
+		sum += v
+	}
+	mean := float64(sum) / trials
+	want := float64(k) * float64(succ) / float64(n) // 6.0
+	if mean < want-0.15 || mean > want+0.15 {
+		t.Errorf("Hypergeometric mean = %v, want ~%v", mean, want)
+	}
+}
+
+func TestHypergeometricEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	if got := Hypergeometric(10, 0, 5, rng); got != 0 {
+		t.Errorf("no successes in population: got %d, want 0", got)
+	}
+	if got := Hypergeometric(10, 10, 5, rng); got != 5 {
+		t.Errorf("all successes: got %d, want 5", got)
+	}
+	if got := Hypergeometric(10, 4, 10, rng); got != 4 {
+		t.Errorf("draw everything: got %d, want 4", got)
+	}
+	if got := Hypergeometric(10, 4, 0, rng); got != 0 {
+		t.Errorf("draw nothing: got %d, want 0", got)
+	}
+}
+
+func TestSampleCountsMatchesTransactionSampling(t *testing.T) {
+	// For planted independent items, SampleCounts should match the mean
+	// per-item counts of real transaction sampling.
+	rng := rand.New(rand.NewSource(5))
+	m := 400
+	counts := []int{200, 40, 399, 1}
+	ft, err := NewTable(m, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const trials = 2000
+	sums := make([]float64, len(counts))
+	for i := 0; i < trials; i++ {
+		s, err := SampleCounts(ft, 0.25, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.NTransactions != 100 {
+			t.Fatalf("sampled m = %d, want 100", s.NTransactions)
+		}
+		for x, c := range s.Counts {
+			sums[x] += float64(c)
+		}
+	}
+	for x, c := range counts {
+		mean := sums[x] / trials
+		want := float64(c) * 0.25
+		tol := 0.05*want + 0.3
+		if mean < want-tol || mean > want+tol {
+			t.Errorf("item %d sampled mean = %v, want ~%v", x, mean, want)
+		}
+	}
+}
+
+func TestReadFIMIRobustness(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		ok   bool
+	}{
+		{"crlf", "1 2\r\n3\r\n", true},
+		{"tabs", "1\t2\n", true},
+		{"leading spaces", "  1 2  \n", true},
+		{"huge id", "999999999999999999999999\n", false},
+		{"float", "1.5\n", false},
+		{"hex", "0x10\n", false},
+		{"only blank lines", "\n\n\n", false},
+		{"plus sign", "+3\n", true}, // strconv.Atoi accepts a sign
+	}
+	for _, tc := range cases {
+		_, err := ReadFIMI(strings.NewReader(tc.in), 0)
+		if (err == nil) != tc.ok {
+			t.Errorf("%s: err = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+}
+
+func TestReadFIMINeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	alphabet := []byte("0123456789 \n\t-x.")
+	for trial := 0; trial < 500; trial++ {
+		b := make([]byte, rng.Intn(200))
+		for i := range b {
+			b[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		// Must return a database or an error, never panic.
+		db, err := ReadFIMI(strings.NewReader(string(b)), 0)
+		if err == nil && db.Transactions() == 0 {
+			t.Fatalf("trial %d: nil error with empty database", trial)
+		}
+	}
+}
+
+func TestReadFIMICountsMatchesReadFIMI(t *testing.T) {
+	rng := rand.New(rand.NewSource(111))
+	var buf bytes.Buffer
+	n := 30
+	var txs []Transaction
+	for i := 0; i < 200; i++ {
+		l := 1 + rng.Intn(6)
+		tx := make(Transaction, l)
+		for j := range tx {
+			tx[j] = Item(rng.Intn(n))
+		}
+		txs = append(txs, tx)
+	}
+	db := MustNew(n, txs)
+	if err := WriteFIMI(&buf, db); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.String()
+	ft, err := ReadFIMICounts(strings.NewReader(raw), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := ReadFIMI(strings.NewReader(raw), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := full.Table()
+	if ft.NTransactions != want.NTransactions {
+		t.Fatalf("m = %d, want %d", ft.NTransactions, want.NTransactions)
+	}
+	for x := range want.Counts {
+		if ft.Counts[x] != want.Counts[x] {
+			t.Errorf("count[%d] = %d, want %d", x, ft.Counts[x], want.Counts[x])
+		}
+	}
+}
+
+func TestReadFIMICountsDuplicatesAndUniverse(t *testing.T) {
+	// Duplicates within a line count once; explicit n pads the universe.
+	ft, err := ReadFIMICounts(strings.NewReader("2 2 0\n2\n"), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ft.NItems != 6 {
+		t.Errorf("universe = %d, want 6", ft.NItems)
+	}
+	if ft.Counts[2] != 2 || ft.Counts[0] != 1 || ft.Counts[5] != 0 {
+		t.Errorf("counts = %v", ft.Counts)
+	}
+	if _, err := ReadFIMICounts(strings.NewReader("x\n"), 0); err == nil {
+		t.Error("garbage: want error")
+	}
+	if _, err := ReadFIMICounts(strings.NewReader("-1\n"), 0); err == nil {
+		t.Error("negative: want error")
+	}
+	if _, err := ReadFIMICounts(strings.NewReader(""), 0); err == nil {
+		t.Error("empty: want error")
+	}
+}

@@ -1,0 +1,100 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Sample draws a uniform random sample of ceil(fraction*|D|) transactions
+// without replacement, preserving the universe size. It implements the
+// similarity-by-sampling substrate of Section 7.4: the data owner simulates a
+// hacker holding "similar data" by sampling the original database.
+// fraction must be in (0, 1].
+func Sample(db *Database, fraction float64, rng *rand.Rand) (*Database, error) {
+	if fraction <= 0 || fraction > 1 {
+		return nil, fmt.Errorf("dataset: sample fraction %v outside (0,1]", fraction)
+	}
+	m := db.Transactions()
+	k := int(float64(m)*fraction + 0.999999)
+	if k < 1 {
+		k = 1
+	}
+	if k > m {
+		k = m
+	}
+	idx := rng.Perm(m)[:k]
+	txs := make([]Transaction, k)
+	for i, j := range idx {
+		txs[i] = db.Transaction(j)
+	}
+	return New(db.Items(), txs)
+}
+
+// SampleCounts draws the support-count vector of a transaction sample without
+// materializing transactions. For a sample of k of m transactions drawn
+// without replacement, an item with support count c appears in a
+// Hypergeometric(m, c, k) number of sampled transactions — but counts of
+// different items are not independent, so this is exact only marginally.
+//
+// For the planted-count synthetic benchmarks of internal/datagen, items are
+// planted into transactions independently, which makes the joint distribution
+// of sampled counts exactly a product of (conditionally) hypergeometric laws;
+// SampleCounts therefore reproduces dataset.Sample's count statistics for
+// those generators at a fraction of the cost, enabling Figure 12 at the
+// paper's full scale (16,470 items / 88,163 transactions for RETAIL).
+func SampleCounts(ft *FrequencyTable, fraction float64, rng *rand.Rand) (*FrequencyTable, error) {
+	if fraction <= 0 || fraction > 1 {
+		return nil, fmt.Errorf("dataset: sample fraction %v outside (0,1]", fraction)
+	}
+	m := ft.NTransactions
+	k := int(float64(m)*fraction + 0.999999)
+	if k < 1 {
+		k = 1
+	}
+	if k > m {
+		k = m
+	}
+	counts := make([]int, ft.NItems)
+	for x, c := range ft.Counts {
+		counts[x] = Hypergeometric(m, c, k, rng)
+	}
+	return &FrequencyTable{NItems: ft.NItems, NTransactions: k, Counts: counts}, nil
+}
+
+// Hypergeometric samples the number of successes when drawing k items without
+// replacement from a population of size n containing succ successes. Two
+// symmetries — swapping draws with leftovers, and swapping the roles of the
+// drawn set and the success set — bound the cost by
+// O(min(k, n-k, succ, n-succ)).
+func Hypergeometric(n, succ, k int, rng *rand.Rand) int {
+	if k < 0 || succ < 0 || n < 0 || succ > n || k > n {
+		panic(fmt.Sprintf("dataset: invalid hypergeometric parameters n=%d succ=%d k=%d", n, succ, k))
+	}
+	// Counting marked elements among k drawn equals counting drawn elements
+	// among succ marked.
+	if succ < k {
+		succ, k = k, succ
+	}
+	// Symmetry: drawing k is the same as leaving n-k behind.
+	if k > n/2 {
+		return succ - Hypergeometric(n, succ, n-k, rng)
+	}
+	// Sequential simulation: draw k times, tracking remaining successes.
+	got := 0
+	remSucc, remTotal := succ, n
+	for i := 0; i < k; i++ {
+		if remSucc == 0 {
+			break
+		}
+		if remSucc == remTotal {
+			// Every remaining draw is a success.
+			return got + (k - i)
+		}
+		if rng.Intn(remTotal) < remSucc {
+			got++
+			remSucc--
+		}
+		remTotal--
+	}
+	return got
+}

@@ -1,0 +1,118 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Stats is one row of the paper's Figure 9: the frequency-structure summary
+// of a dataset that drives the entire risk assessment.
+type Stats struct {
+	Name          string
+	NItems        int
+	NTransactions int
+	NGroups       int // distinct observed frequencies g
+	Singleton     int // groups of size 1
+	MeanGap       float64
+	MedianGap     float64
+	MinGap        float64
+	MaxGap        float64
+}
+
+// ComputeStats summarizes a frequency table in the form of Figure 9.
+func ComputeStats(name string, ft *FrequencyTable) Stats {
+	gr := GroupItems(ft)
+	gaps := gr.Gaps()
+	s := Stats{
+		Name:          name,
+		NItems:        ft.NItems,
+		NTransactions: ft.NTransactions,
+		NGroups:       gr.NumGroups(),
+		Singleton:     gr.SingletonGroups(),
+	}
+	if len(gaps) > 0 {
+		s.MeanGap = Mean(gaps)
+		s.MedianGap = Median(gaps)
+		s.MinGap = Min(gaps)
+		s.MaxGap = Max(gaps)
+	}
+	return s
+}
+
+// String renders the row roughly as the paper's table does.
+func (s Stats) String() string {
+	return fmt.Sprintf("%-10s items=%-6d trans=%-7d groups=%-5d singletons=%-5d gaps(mean=%.5f median=%.6f min=%.6f max=%.5f)",
+		s.Name, s.NItems, s.NTransactions, s.NGroups, s.Singleton,
+		s.MeanGap, s.MedianGap, s.MinGap, s.MaxGap)
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Median returns the median of xs (average of the two middle elements for
+// even lengths), or 0 for an empty slice. The input is not modified.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	mid := len(s) / 2
+	if len(s)%2 == 1 {
+		return s[mid]
+	}
+	return (s[mid-1] + s[mid]) / 2
+}
+
+// Min returns the minimum of xs, or 0 for an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs, or 0 for an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// StdDev returns the sample standard deviation of xs (n-1 denominator), or 0
+// when len(xs) < 2.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	mu := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - mu
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)-1))
+}

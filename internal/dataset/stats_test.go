@@ -1,0 +1,85 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanMedianMinMax(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if got := Mean(xs); !almostEq(got, 2, 1e-12) {
+		t.Errorf("Mean = %v, want 2", got)
+	}
+	if got := Median(xs); got != 2 {
+		t.Errorf("Median = %v, want 2", got)
+	}
+	if got := Median([]float64{4, 1, 3, 2}); !almostEq(got, 2.5, 1e-12) {
+		t.Errorf("Median(even) = %v, want 2.5", got)
+	}
+	if got := Min(xs); got != 1 {
+		t.Errorf("Min = %v, want 1", got)
+	}
+	if got := Max(xs); got != 3 {
+		t.Errorf("Max = %v, want 3", got)
+	}
+	for _, f := range []func([]float64) float64{Mean, Median, Min, Max, StdDev} {
+		if got := f(nil); got != 0 {
+			t.Errorf("empty-slice statistic = %v, want 0", got)
+		}
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("Median mutated its input: %v", xs)
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	// Sample stddev of {2,4,4,4,5,5,7,9} is sqrt(32/7).
+	got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	want := math.Sqrt(32.0 / 7.0)
+	if !almostEq(got, want, 1e-12) {
+		t.Errorf("StdDev = %v, want %v", got, want)
+	}
+	if got := StdDev([]float64{5}); got != 0 {
+		t.Errorf("StdDev(single) = %v, want 0", got)
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	// Counts 1,3,3,7,9 over m=10: groups at .1,.3,.7,.9; gaps .2,.4,.2.
+	ft, err := NewTable(10, []int{1, 3, 3, 7, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ComputeStats("toy", ft)
+	if s.NItems != 5 || s.NTransactions != 10 {
+		t.Errorf("sizes = (%d,%d), want (5,10)", s.NItems, s.NTransactions)
+	}
+	if s.NGroups != 4 || s.Singleton != 3 {
+		t.Errorf("groups = (%d,%d), want (4,3)", s.NGroups, s.Singleton)
+	}
+	if !almostEq(s.MedianGap, 0.2, 1e-12) || !almostEq(s.MinGap, 0.2, 1e-12) ||
+		!almostEq(s.MaxGap, 0.4, 1e-12) || !almostEq(s.MeanGap, 0.8/3, 1e-12) {
+		t.Errorf("gap stats = %+v", s)
+	}
+	if s.String() == "" {
+		t.Error("String() returned empty")
+	}
+}
+
+func TestComputeStatsSingleGroup(t *testing.T) {
+	ft, err := NewTable(4, []int{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ComputeStats("flat", ft)
+	if s.NGroups != 1 || s.MeanGap != 0 || s.MaxGap != 0 {
+		t.Errorf("single-group stats = %+v", s)
+	}
+}

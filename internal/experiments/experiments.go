@@ -1,0 +1,155 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation: the §5.2 chain Δ table, the Figure 9 dataset statistics, the
+// Figure 10 O-estimate accuracy comparison, the Figure 11 compliancy sweep,
+// the Figure 12 similarity-by-sampling curves, and the §7.3 recipe walk-
+// through. Each experiment returns structured tables that cmd/experiments
+// renders and the repository benchmarks time; EXPERIMENTS.md records
+// paper-vs-measured values.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Config controls experiment scale.
+type Config struct {
+	// Seed drives all randomness; a fixed seed makes runs reproducible.
+	Seed int64
+	// Quick shrinks simulation sample counts (for the repository benchmarks
+	// and smoke tests). Full runs follow the paper's setup shape.
+	Quick bool
+}
+
+// Report is the structured outcome of one experiment.
+type Report struct {
+	ID     string
+	Title  string
+	Tables []Table
+	Notes  []string
+}
+
+// Table is a rendered result table.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// String renders the table as aligned ASCII.
+func (t Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (cells containing commas
+// or quotes are quoted), for plotting the figures outside the harness.
+func (t Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(cell, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(cell, `"`, `""`))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(cell)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// String renders the full report.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	for _, t := range r.Tables {
+		b.WriteByte('\n')
+		b.WriteString(t.String())
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "\nnote: %s\n", n)
+	}
+	return b.String()
+}
+
+// Experiment couples an identifier with its runner.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(cfg Config) (*Report, error)
+}
+
+// All lists the experiments in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{ID: "delta", Title: "§5.2 chain O-estimate error table", Run: RunDeltaTable},
+		{ID: "figure9", Title: "Figure 9: benchmark frequency statistics", Run: RunFigure9},
+		{ID: "figure10", Title: "Figure 10: O-estimates vs simulated estimates", Run: RunFigure10},
+		{ID: "figure11", Title: "Figure 11: varying the degree of compliancy", Run: RunFigure11},
+		{ID: "figure12", Title: "Figure 12: degrees of compliancy from similar data", Run: RunFigure12},
+		{ID: "recipe", Title: "§7.3: the Assess-Risk recipe on the benchmarks", Run: RunRecipe},
+		{ID: "ablation", Title: "Ablations: propagation, widths, subset bias, sampler moves", Run: RunAblation},
+		{ID: "itemsets", Title: "§8.2 extension: itemset-level identity disclosure", Run: RunItemsets},
+		{ID: "kanon", Title: "Baseline: k-anonymization vs plain anonymization", Run: RunKanon},
+		{ID: "sanitize", Title: "Baseline: randomization vs plain anonymization", Run: RunSanitize},
+	}
+}
+
+// ByID returns the experiment with the given id.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+func f6(v float64) string { return fmt.Sprintf("%.6f", v) }
+func f4(v float64) string { return fmt.Sprintf("%.4f", v) }
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }

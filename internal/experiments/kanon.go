@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/kanon"
+	"repro/internal/relation"
+)
+
+// RunKanon measures the baseline the paper names but does not evaluate:
+// k-anonymization (Samarati–Sweeney, refs [22, 23]) versus plain
+// anonymization on a relational release, under the worst-case hacker of
+// Lemma 3 transported to anonymity sets (exact knowledge of everyone's
+// attributes). Plain anonymization leaves the attribute tuples untouched
+// (k = smallest anonymity set, often 1); k-anonymization coarsens values
+// until every record hides among at least k, cutting expected
+// re-identifications at a measurable precision cost.
+func RunKanon(cfg Config) (*Report, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	rep := &Report{ID: "kanon", Title: "Baseline: k-anonymization vs plain anonymization (relational release)"}
+
+	schema := relation.Schema{Attrs: []relation.Attribute{
+		{Name: "age", Values: []string{"20-25", "25-30", "30-35", "35-40", "40-45", "45-50", "50-55", "55-60"}, Ordered: true},
+		{Name: "ethnicity", Values: []string{"Chinese", "Indian", "German", "Brazilian", "Nigerian"}},
+		{Name: "car", Values: []string{"Toyota", "Honda", "BMW", "Ford"}},
+	}}
+	n := 500
+	if cfg.Quick {
+		n = 150
+	}
+	pop, err := relation.RandomRelation(schema, n, rng)
+	if err != nil {
+		return nil, err
+	}
+	hierarchies := make([]kanon.Hierarchy, len(schema.Attrs))
+	for a, attr := range schema.Attrs {
+		hierarchies[a] = kanon.AutoHierarchy(attr)
+	}
+
+	tb := Table{
+		Header: []string{"release", "anonymity sets", "min set size", "E(X) full knowledge", "fraction", "precision", "levels"},
+	}
+	tb.Rows = append(tb.Rows, []string{
+		"plain anonymization",
+		fmt.Sprint(len(pop.TupleGroups())), fmt.Sprint(pop.MinAnonymitySet()),
+		f2(pop.ExpectedCracksFullKnowledge()),
+		f4(pop.ExpectedCracksFullKnowledge() / float64(n)),
+		"1.000", "-",
+	})
+	for _, k := range []int{2, 5, 10, 25} {
+		res, err := kanon.Anonymize(pop, hierarchies, k)
+		if err != nil {
+			return nil, err
+		}
+		view := res.Relation
+		tb.Rows = append(tb.Rows, []string{
+			fmt.Sprintf("%d-anonymized", k),
+			fmt.Sprint(len(view.TupleGroups())), fmt.Sprint(res.AchievedK),
+			f2(view.ExpectedCracksFullKnowledge()),
+			f4(view.ExpectedCracksFullKnowledge() / float64(n)),
+			f3(res.Precision), kanon.LevelString(view, res.Levels),
+		})
+	}
+	rep.Tables = append(rep.Tables, tb)
+	rep.Notes = append(rep.Notes,
+		"plain anonymization keeps every data characteristic — which is why the paper must ask how safe it is; k-anonymization buys safety by perturbing (coarsening) the data, the trade-off the paper's introduction contrasts",
+		"precision is Sweeney's Prec: 1 − mean generalization height fraction across attributes")
+	return rep, nil
+}

@@ -1,0 +1,87 @@
+package fim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dataset"
+)
+
+// Eclat mines all itemsets with support count >= minSupport using the
+// vertical layout: each item carries its tidset (sorted transaction ids) and
+// candidates are extended depth-first by tidset intersection. A third
+// independent implementation alongside Apriori and FP-Growth; the three
+// cross-validate each other in the package tests.
+func Eclat(db *dataset.Database, minSupport int) ([]FrequentItemset, error) {
+	if minSupport < 1 {
+		return nil, fmt.Errorf("fim: minimum support %d, want >= 1", minSupport)
+	}
+	// Vertical layout.
+	tidsets := make([][]int32, db.Items())
+	for t := 0; t < db.Transactions(); t++ {
+		for _, x := range db.Transaction(t) {
+			tidsets[x] = append(tidsets[x], int32(t))
+		}
+	}
+	type node struct {
+		item dataset.Item
+		tids []int32
+	}
+	var frontier []node
+	for x, tids := range tidsets {
+		if len(tids) >= minSupport {
+			frontier = append(frontier, node{item: dataset.Item(x), tids: tids})
+		}
+	}
+	sort.Slice(frontier, func(i, j int) bool { return frontier[i].item < frontier[j].item })
+
+	var result []FrequentItemset
+	var rec func(prefix Itemset, class []node)
+	rec = func(prefix Itemset, class []node) {
+		for i, a := range class {
+			items := make(Itemset, 0, len(prefix)+1)
+			items = append(items, prefix...)
+			items = append(items, a.item)
+			result = append(result, FrequentItemset{Items: items, Support: len(a.tids)})
+			var next []node
+			for _, b := range class[i+1:] {
+				inter := intersectTids(a.tids, b.tids)
+				if len(inter) >= minSupport {
+					next = append(next, node{item: b.item, tids: inter})
+				}
+			}
+			if len(next) > 0 {
+				rec(items, next)
+			}
+		}
+	}
+	rec(nil, frontier)
+	SortItemsets(result)
+	return result, nil
+}
+
+// intersectTids merges two sorted tid lists.
+func intersectTids(a, b []int32) []int32 {
+	out := make([]int32, 0, minInt(len(a), len(b)))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,156 @@
+package fim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestRulesClassicExample(t *testing.T) {
+	db := classicDB(t)
+	sets, err := Apriori(db, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules, err := Rules(sets, db.Transactions(), 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) == 0 {
+		t.Fatal("no rules found")
+	}
+	// Every reported rule must be self-consistent and above threshold.
+	support := map[string]int{}
+	for _, fs := range sets {
+		support[fs.Items.Key()] = fs.Support
+	}
+	for _, r := range rules {
+		if r.Confidence < 0.7 {
+			t.Errorf("rule %v below confidence threshold", r)
+		}
+		union := NewItemset(append(append(Itemset{}, r.Antecedent...), r.Consequent...)...)
+		if support[union.Key()] != r.Support {
+			t.Errorf("rule %v: union support %d, want %d", r, support[union.Key()], r.Support)
+		}
+		wantConf := float64(r.Support) / float64(support[r.Antecedent.Key()])
+		if math.Abs(r.Confidence-wantConf) > 1e-12 {
+			t.Errorf("rule %v: confidence %v, want %v", r, r.Confidence, wantConf)
+		}
+		wantLift := wantConf / (float64(support[r.Consequent.Key()]) / 9)
+		if math.Abs(r.Lift-wantLift) > 1e-12 {
+			t.Errorf("rule %v: lift %v, want %v", r, r.Lift, wantLift)
+		}
+		if r.String() == "" {
+			t.Error("empty rule string")
+		}
+	}
+	// A known rule: {0,4} has support 2 and {0,4} ⊆ {0,1,4} support 2, so
+	// {0,4} => {1} has confidence 1.
+	found := false
+	for _, r := range rules {
+		if r.Antecedent.Equal(Itemset{0, 4}) && r.Consequent.Equal(Itemset{1}) {
+			found = true
+			if r.Confidence != 1 {
+				t.Errorf("{0,4}=>{1} confidence %v, want 1", r.Confidence)
+			}
+		}
+	}
+	if !found {
+		t.Error("expected rule {0,4}=>{1} missing")
+	}
+}
+
+func TestRulesMatchBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 20; trial++ {
+		n := 5 + rng.Intn(5)
+		var txs []dataset.Transaction
+		for i := 0; i < 40+rng.Intn(40); i++ {
+			l := 1 + rng.Intn(4)
+			tx := make(dataset.Transaction, l)
+			for j := range tx {
+				tx[j] = dataset.Item(rng.Intn(n))
+			}
+			txs = append(txs, tx)
+		}
+		db := dataset.MustNew(n, txs)
+		minSup := 2 + rng.Intn(5)
+		minConf := 0.3 + rng.Float64()*0.6
+		sets, err := Apriori(db, minSup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Rules(sets, db.Transactions(), minConf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotKeys := map[string]bool{}
+		for _, r := range got {
+			gotKeys[r.Antecedent.Key()+"=>"+r.Consequent.Key()] = true
+		}
+		// Brute force: every split of every frequent itemset.
+		support := map[string]int{}
+		for _, fs := range sets {
+			support[fs.Items.Key()] = fs.Support
+		}
+		want := 0
+		for _, fs := range sets {
+			k := len(fs.Items)
+			if k < 2 {
+				continue
+			}
+			for mask := uint(1); mask < uint(1)<<uint(k)-1; mask++ {
+				ant, cons := splitByMask(fs.Items, mask)
+				conf := float64(fs.Support) / float64(support[ant.Key()])
+				if conf >= minConf {
+					want++
+					if !gotKeys[ant.Key()+"=>"+cons.Key()] {
+						t.Fatalf("trial %d: missing rule %v => %v (conf %v)", trial, ant, cons, conf)
+					}
+				}
+			}
+		}
+		if len(got) != want {
+			t.Fatalf("trial %d: %d rules, brute force says %d", trial, len(got), want)
+		}
+	}
+}
+
+func TestRulesValidation(t *testing.T) {
+	sets := []FrequentItemset{{Items: Itemset{0, 1}, Support: 3}, {Items: Itemset{0}, Support: 4}, {Items: Itemset{1}, Support: 5}}
+	if _, err := Rules(sets, 10, 0); err == nil {
+		t.Error("confidence 0: want error")
+	}
+	if _, err := Rules(sets, 10, 1.5); err == nil {
+		t.Error("confidence > 1: want error")
+	}
+	if _, err := Rules(sets, 0, 0.5); err == nil {
+		t.Error("0 transactions: want error")
+	}
+	huge := []FrequentItemset{{Items: make(Itemset, 25), Support: 1}}
+	for i := range huge[0].Items {
+		huge[0].Items[i] = dataset.Item(i)
+	}
+	if _, err := Rules(huge, 10, 0.5); err == nil {
+		t.Error("oversized itemset: want error")
+	}
+}
+
+func TestRulesSortedByConfidence(t *testing.T) {
+	db := classicDB(t)
+	sets, err := Apriori(db, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules, err := Rules(sets, db.Transactions(), 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(rules); i++ {
+		if rules[i].Confidence > rules[i-1].Confidence+1e-12 {
+			t.Fatalf("rules not sorted at %d: %v then %v", i, rules[i-1].Confidence, rules[i].Confidence)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package kanon
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func testSchema() relation.Schema {
+	return relation.Schema{Attrs: []relation.Attribute{
+		{Name: "age", Values: []string{"20", "30", "40", "50"}, Ordered: true},
+		{Name: "zip", Values: []string{"111", "112", "121", "122"}},
+	}}
+}
+
+func TestAutoHierarchyOrdered(t *testing.T) {
+	h := AutoHierarchy(testSchema().Attrs[0])
+	if err := h.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// 4 values -> levels: identity(4), pairs(2), all(1).
+	if h.Levels() != 3 {
+		t.Fatalf("Levels = %d, want 3", h.Levels())
+	}
+	if len(h.Labels[1]) != 2 {
+		t.Errorf("level 1 vocabulary %v, want 2 ranges", h.Labels[1])
+	}
+	if h.Map[1][0] != h.Map[1][1] || h.Map[1][1] == h.Map[1][2] {
+		t.Errorf("level 1 map %v: want {20,30} and {40,50} merged pairwise", h.Map[1])
+	}
+	if h.Labels[1][0] != "20..30" {
+		t.Errorf("level 1 label %q, want 20..30", h.Labels[1][0])
+	}
+}
+
+func TestAutoHierarchyUnordered(t *testing.T) {
+	h := AutoHierarchy(testSchema().Attrs[1])
+	if err := h.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if h.Levels() != 2 || len(h.Labels[1]) != 1 {
+		t.Fatalf("unordered hierarchy = %d levels, top %v", h.Levels(), h.Labels[h.Levels()-1])
+	}
+}
+
+func TestAutoHierarchyOddAndSingle(t *testing.T) {
+	odd := relation.Attribute{Name: "a", Values: []string{"1", "2", "3", "4", "5"}, Ordered: true}
+	h := AutoHierarchy(odd)
+	if err := h.Validate(); err != nil {
+		t.Fatalf("odd hierarchy: %v", err)
+	}
+	single := relation.Attribute{Name: "b", Values: []string{"only"}}
+	hs := AutoHierarchy(single)
+	if err := hs.Validate(); err != nil {
+		t.Fatalf("single-value hierarchy: %v", err)
+	}
+	if hs.Levels() != 1 {
+		t.Errorf("single-value hierarchy has %d levels, want 1", hs.Levels())
+	}
+}
+
+func TestHierarchyValidateRejects(t *testing.T) {
+	bad := []Hierarchy{
+		{},
+		{Labels: [][]string{{"a", "b"}}, Map: [][]int{{0, 0}}},                                                                         // level 0 not identity
+		{Labels: [][]string{{"a", "b"}, {"*"}}, Map: [][]int{{0, 1}, {0}}},                                                             // wrong map length
+		{Labels: [][]string{{"a", "b"}, {"x"}}, Map: [][]int{{0, 1}, {0, 1}}},                                                          // label out of range
+		{Labels: [][]string{{"a", "b"}, {"x", "y"}}, Map: [][]int{{0, 1}, {0, 1}}},                                                     // top not merged
+		{Labels: [][]string{{"a", "b", "c"}, {"x", "y"}, {"p", "q"}, {"*"}}, Map: [][]int{{0, 1, 2}, {0, 0, 1}, {0, 1, 1}, {0, 0, 0}}}, // splits merged values
+	}
+	for i, h := range bad {
+		if err := h.Validate(); err == nil {
+			t.Errorf("case %d: want validation error", i)
+		}
+	}
+}
+
+func buildPopulation(t testing.TB, n int, seed int64) *relation.Relation {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	r, err := relation.RandomRelation(testSchema(), n, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestAnonymizeReachesK(t *testing.T) {
+	r := buildPopulation(t, 60, 1)
+	hs := []Hierarchy{AutoHierarchy(testSchema().Attrs[0]), AutoHierarchy(testSchema().Attrs[1])}
+	for _, k := range []int{1, 2, 5, 10, 30} {
+		res, err := Anonymize(r, hs, k)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if res.AchievedK < k {
+			t.Errorf("k=%d: achieved %d", k, res.AchievedK)
+		}
+		if res.Relation.MinAnonymitySet() != res.AchievedK {
+			t.Errorf("k=%d: AchievedK %d but view says %d", k, res.AchievedK, res.Relation.MinAnonymitySet())
+		}
+		if res.Precision < 0 || res.Precision > 1 {
+			t.Errorf("k=%d: precision %v out of range", k, res.Precision)
+		}
+		if LevelString(res.Relation, res.Levels) == "" {
+			t.Error("empty level string")
+		}
+	}
+}
+
+func TestAnonymizeMinimality(t *testing.T) {
+	// The chosen level vector must have minimal total height: no vector with
+	// a smaller sum may achieve k.
+	r := buildPopulation(t, 40, 2)
+	hs := []Hierarchy{AutoHierarchy(testSchema().Attrs[0]), AutoHierarchy(testSchema().Attrs[1])}
+	res, err := Anonymize(r, hs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chosen := res.Levels[0] + res.Levels[1]
+	for l0 := 0; l0 <= hs[0].Levels()-1; l0++ {
+		for l1 := 0; l1 <= hs[1].Levels()-1; l1++ {
+			if l0+l1 >= chosen {
+				continue
+			}
+			view, err := generalizeForTest(r, hs, []int{l0, l1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if view.MinAnonymitySet() >= 4 {
+				t.Fatalf("levels (%d,%d) with smaller height also reach k=4; chosen %v", l0, l1, res.Levels)
+			}
+		}
+	}
+}
+
+// generalizeForTest exposes the internal view construction for the
+// minimality check.
+func generalizeForTest(r *relation.Relation, hs []Hierarchy, levels []int) (*relation.Relation, error) {
+	return generalize(r, hs, levels)
+}
+
+func TestAnonymizeReducesDisclosure(t *testing.T) {
+	// The point of the baseline: growing k shrinks the full-knowledge
+	// expected cracks (fewer, larger anonymity sets) at decreasing precision.
+	r := buildPopulation(t, 100, 3)
+	hs := []Hierarchy{AutoHierarchy(testSchema().Attrs[0]), AutoHierarchy(testSchema().Attrs[1])}
+	prevCracks := r.ExpectedCracksFullKnowledge() + 1
+	prevPrec := 1.1
+	for _, k := range []int{1, 3, 10, 50} {
+		res, err := Anonymize(r, hs, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cracks := res.Relation.ExpectedCracksFullKnowledge()
+		if cracks > prevCracks {
+			t.Errorf("k=%d: cracks %v grew from %v", k, cracks, prevCracks)
+		}
+		if res.Precision > prevPrec {
+			t.Errorf("k=%d: precision %v grew from %v", k, res.Precision, prevPrec)
+		}
+		prevCracks, prevPrec = cracks, res.Precision
+	}
+}
+
+func TestAnonymizeErrors(t *testing.T) {
+	r := buildPopulation(t, 10, 4)
+	hs := []Hierarchy{AutoHierarchy(testSchema().Attrs[0]), AutoHierarchy(testSchema().Attrs[1])}
+	if _, err := Anonymize(r, hs, 0); err == nil {
+		t.Error("k=0: want error")
+	}
+	if _, err := Anonymize(r, hs, 11); err == nil {
+		t.Error("k > records: want error")
+	}
+	if _, err := Anonymize(r, hs[:1], 2); err == nil {
+		t.Error("missing hierarchy: want error")
+	}
+	if _, err := Anonymize(r, []Hierarchy{hs[0], {}}, 2); err == nil {
+		t.Error("invalid hierarchy: want error")
+	}
+	wrong := AutoHierarchy(relation.Attribute{Name: "zip", Values: []string{"a", "b", "c"}})
+	if _, err := Anonymize(r, []Hierarchy{hs[0], wrong}, 2); err == nil {
+		t.Error("hierarchy vocabulary mismatch: want error")
+	}
+}

@@ -1,0 +1,303 @@
+// Package recipe implements the decision procedures the paper hands the data
+// owner: Algorithm Assess-Risk (Section 6, Figure 8), which decides whether
+// anonymized data is safe to disclose under a crack tolerance τ, and
+// Similarity-by-Sampling (Section 7.4, Figure 13), which calibrates how much
+// compliancy a hacker could plausibly reach from "similar data".
+package recipe
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/belief"
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+// Options configures Assess-Risk.
+type Options struct {
+	// Tolerance is τ: the fraction of items the owner can tolerate being
+	// cracked. Required, in (0, 1).
+	Tolerance float64
+	// Runs is the number of random compliant subsets averaged per α level
+	// (Section 6.2; the paper uses 5). Default 5.
+	Runs int
+	// AlphaPrecision is the width at which the binary search on α stops.
+	// Default 1/64.
+	AlphaPrecision float64
+	// Propagate applies degree-1 propagation inside the O-estimates.
+	Propagate bool
+	// AlphaComfort is the α_max level at or above which the final verdict is
+	// "disclose": the owner judges it unlikely that a hacker guesses the
+	// frequency intervals of that fraction of the domain (the paper discusses
+	// 0.8 as comfortable and 0.2 as alarming). Default 0.5.
+	AlphaComfort float64
+	// Rng drives the random compliant subsets. Required.
+	Rng *rand.Rand
+}
+
+func (o Options) withDefaults() (Options, error) {
+	if o.Tolerance <= 0 || o.Tolerance >= 1 {
+		return o, fmt.Errorf("recipe: tolerance %v outside (0,1)", o.Tolerance)
+	}
+	if o.Rng == nil {
+		return o, fmt.Errorf("recipe: Options.Rng is required")
+	}
+	if o.Runs <= 0 {
+		o.Runs = 5
+	}
+	if o.AlphaPrecision <= 0 {
+		o.AlphaPrecision = 1.0 / 64
+	}
+	if o.AlphaComfort <= 0 {
+		o.AlphaComfort = 0.5
+	}
+	return o, nil
+}
+
+// Stage identifies which step of Figure 8 settled the decision.
+type Stage int
+
+const (
+	// StagePointValued: the Lemma 3 worst case already fits the tolerance
+	// (steps 1-2).
+	StagePointValued Stage = iota + 1
+	// StageCompliantInterval: the δ_med compliant-interval O-estimate fits
+	// the tolerance (steps 3-7).
+	StageCompliantInterval
+	// StageAlphaSearch: the binary search on α produced α_max and the
+	// verdict compares it against the comfort level (steps 8-10).
+	StageAlphaSearch
+)
+
+func (s Stage) String() string {
+	switch s {
+	case StagePointValued:
+		return "point-valued worst case within tolerance"
+	case StageCompliantInterval:
+		return "compliant-interval O-estimate within tolerance"
+	case StageAlphaSearch:
+		return "alpha binary search"
+	default:
+		return fmt.Sprintf("Stage(%d)", int(s))
+	}
+}
+
+// Result reports the full evidence trail of Assess-Risk.
+type Result struct {
+	Disclose bool  // the recipe's verdict
+	Stage    Stage // which step decided
+
+	Items     int     // n
+	Groups    int     // g, the Lemma 3 expected cracks
+	DeltaMed  float64 // δ_med, the interval half-width used
+	OEFull    float64 // O-estimate at full compliance (step 6)
+	AlphaMax  float64 // largest α within tolerance (1 when earlier stages decide)
+	Tolerance float64 // τ echoed back
+}
+
+// FractionPointValued returns g/n, the worst-case crack fraction.
+func (r *Result) FractionPointValued() float64 { return float64(r.Groups) / float64(r.Items) }
+
+// FractionOEFull returns OEFull/n.
+func (r *Result) FractionOEFull() float64 { return r.OEFull / float64(r.Items) }
+
+// AssessRisk executes Algorithm Assess-Risk (Figure 8) on the frequency
+// table of the database under assessment.
+func AssessRisk(ft *dataset.FrequencyTable, opts Options) (*Result, error) {
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	n := ft.NItems
+	budget := opts.Tolerance * float64(n)
+	gr := dataset.GroupItems(ft)
+	res := &Result{
+		Items:     n,
+		Groups:    gr.NumGroups(),
+		Tolerance: opts.Tolerance,
+		AlphaMax:  1,
+	}
+
+	// Steps 1-2: compliant point-valued worst case (Lemma 3).
+	if core.ExpectedCracksPointValued(gr) <= budget {
+		res.Disclose = true
+		res.Stage = StagePointValued
+		return res, nil
+	}
+
+	// Steps 3-6: compliant interval belief function with width δ_med.
+	res.DeltaMed = gr.MedianGap()
+	bf := belief.UniformWidth(ft.Frequencies(), res.DeltaMed)
+	oe, err := core.OEstimate(bf, ft, core.OEOptions{Propagate: opts.Propagate})
+	if err != nil {
+		return nil, err
+	}
+	res.OEFull = oe.Value
+
+	// Step 7.
+	if res.OEFull <= budget {
+		res.Disclose = true
+		res.Stage = StageCompliantInterval
+		return res, nil
+	}
+
+	// Steps 8-9: binary search for α_max. Each run r holds a fixed random
+	// item order; the compliant set at level α is the order's first ⌈αn⌉
+	// items, so the sets are nested across α exactly as Lemma 10's
+	// monotonicity requires (Section 6.2).
+	search, err := NewAlphaSearch(ft, bf, opts.Runs, opts.Propagate, opts.Rng)
+	if err != nil {
+		return nil, err
+	}
+	res.Stage = StageAlphaSearch
+	res.AlphaMax, err = search.MaxAlphaWithin(budget, opts.AlphaPrecision)
+	if err != nil {
+		return nil, err
+	}
+	res.Disclose = res.AlphaMax >= opts.AlphaComfort
+	return res, nil
+}
+
+// AlphaSearch evaluates averaged α-compliant O-estimates over nested
+// compliant subsets, supporting both the recipe's binary search and the α
+// sweep of Figure 11.
+type AlphaSearch struct {
+	ft        *dataset.FrequencyTable
+	bf        *belief.Function
+	orders    [][]int // one item order per run; level α keeps the first ⌈αn⌉
+	propagate bool
+}
+
+// NewAlphaSearch prepares `runs` independent uniformly random item orders
+// over the domain of ft, using the compliant belief function bf. This is the
+// paper's Section 6.2 subset model: which items the hacker guesses right is
+// uniform.
+func NewAlphaSearch(ft *dataset.FrequencyTable, bf *belief.Function, runs int, propagate bool, rng *rand.Rand) (*AlphaSearch, error) {
+	return newAlphaSearch(ft, bf, runs, propagate, false, rng)
+}
+
+// NewAlphaSearchBiased is the ablation variant where the hacker's wrong
+// guesses land preferentially on the *distinctive* items — those with the
+// highest crack contribution 1/O_x — so the O-estimate decays super-linearly
+// as α falls. The paper's Figure 11 curves for PUMSB and ACCIDENTS are
+// super-linear, which uniform subsets cannot produce (OE is then linear in α
+// in expectation); this variant quantifies how much that modelling choice
+// matters (see EXPERIMENTS.md).
+func NewAlphaSearchBiased(ft *dataset.FrequencyTable, bf *belief.Function, runs int, propagate bool, rng *rand.Rand) (*AlphaSearch, error) {
+	return newAlphaSearch(ft, bf, runs, propagate, true, rng)
+}
+
+func newAlphaSearch(ft *dataset.FrequencyTable, bf *belief.Function, runs int, propagate, biased bool, rng *rand.Rand) (*AlphaSearch, error) {
+	if bf.Items() != ft.NItems {
+		return nil, fmt.Errorf("recipe: belief domain %d != table domain %d", bf.Items(), ft.NItems)
+	}
+	if runs <= 0 {
+		runs = 5
+	}
+	s := &AlphaSearch{ft: ft, bf: bf, propagate: propagate}
+	n := ft.NItems
+	var contrib []float64
+	if biased {
+		oe, err := core.OEstimate(bf, ft, core.OEOptions{})
+		if err != nil {
+			return nil, err
+		}
+		contrib = make([]float64, n)
+		for x := 0; x < n; x++ {
+			if oe.Crackable[x] {
+				contrib[x] = 1 / float64(oe.Outdeg[x])
+			}
+		}
+	}
+	for r := 0; r < runs; r++ {
+		if !biased {
+			s.orders = append(s.orders, rng.Perm(n))
+			continue
+		}
+		// Exponential-race ordering: item x gets priority Exp(1)·contrib(x);
+		// ascending sort keeps low contributors compliant longest, with
+		// randomness across runs.
+		type pr struct {
+			x int
+			p float64
+		}
+		ps := make([]pr, n)
+		for x := 0; x < n; x++ {
+			ps[x] = pr{x: x, p: rng.ExpFloat64() * (contrib[x] + 1e-9)}
+		}
+		sort.Slice(ps, func(i, j int) bool { return ps[i].p < ps[j].p })
+		order := make([]int, n)
+		for i, p := range ps {
+			order[i] = p.x
+		}
+		s.orders = append(s.orders, order)
+	}
+	return s, nil
+}
+
+// OEAt returns the mean O-estimate across runs at compliancy level α: in each
+// run only the first ⌈αn⌉ items of the run's order count as compliant.
+func (s *AlphaSearch) OEAt(alpha float64) (float64, error) {
+	if alpha < 0 || alpha > 1 {
+		return 0, fmt.Errorf("recipe: alpha %v outside [0,1]", alpha)
+	}
+	n := s.ft.NItems
+	k := int(alpha*float64(n) + 0.5)
+	total := 0.0
+	for _, order := range s.orders {
+		mask := make([]bool, n)
+		for _, x := range order[:k] {
+			mask[x] = true
+		}
+		oe, err := core.OEstimate(s.bf, s.ft, core.OEOptions{Mask: mask, Propagate: s.propagate})
+		if err != nil {
+			return 0, err
+		}
+		total += oe.Value
+	}
+	return total / float64(len(s.orders)), nil
+}
+
+// MaxAlphaWithin binary-searches the largest α whose averaged O-estimate is
+// within the given crack budget, to the given precision. The search is valid
+// because the nested compliant sets make OEAt monotone in α (Lemma 10).
+func (s *AlphaSearch) MaxAlphaWithin(budget, precision float64) (float64, error) {
+	hiVal, err := s.OEAt(1)
+	if err != nil {
+		return 0, err
+	}
+	if hiVal <= budget {
+		return 1, nil
+	}
+	lo, hi := 0.0, 1.0 // invariant: OEAt(lo) <= budget < OEAt(hi)
+	for hi-lo > precision {
+		mid := (lo + hi) / 2
+		v, err := s.OEAt(mid)
+		if err != nil {
+			return 0, err
+		}
+		if v <= budget {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, nil
+}
+
+// Curve evaluates OEAt on each α in alphas, returning O-estimates as
+// fractions of the domain — one series of Figure 11.
+func (s *AlphaSearch) Curve(alphas []float64) ([]float64, error) {
+	out := make([]float64, len(alphas))
+	n := float64(s.ft.NItems)
+	for i, a := range alphas {
+		v, err := s.OEAt(a)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v / n
+	}
+	return out, nil
+}
