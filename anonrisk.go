@@ -1,12 +1,16 @@
 package anonrisk
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"io"
 	"math/rand"
 
 	"repro/internal/anonymize"
 	"repro/internal/belief"
 	"repro/internal/bipartite"
+	"repro/internal/budget"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/fim"
@@ -50,7 +54,54 @@ type (
 
 	// FrequentItemset pairs an itemset with its support.
 	FrequentItemset = fim.FrequentItemset
+
+	// SamplerConfig configures the Section 7.1 matching-space MCMC sampler
+	// used by the simulation / degraded tiers of AttackCtx.
+	SamplerConfig = matching.Config
 )
+
+// Re-exported budget sentinels, so callers can match degradation and
+// cancellation outcomes without importing internal packages.
+var (
+	// ErrBudgetExceeded marks a computation abandoned because its wall-clock
+	// deadline or operation limit ran out. The degradation cascade handles it
+	// internally; it only escapes when even the floor cannot run.
+	ErrBudgetExceeded = budget.ErrBudgetExceeded
+	// ErrCanceled marks an explicit context cancellation — a hard abort that
+	// is never degraded around.
+	ErrCanceled = budget.ErrCanceled
+)
+
+// WithMaxOps returns a context carrying an operation-count limit that every
+// budgeted computation started under it respects (each bounded individually).
+func WithMaxOps(ctx context.Context, maxOps int64) context.Context {
+	return budget.WithMaxOps(ctx, maxOps)
+}
+
+// Method identifies which tier of the degradation cascade produced an
+// estimate.
+type Method string
+
+const (
+	// MethodExact is the permanent-based exact expectation (Section 4.1).
+	MethodExact Method = "exact"
+	// MethodSampled is the matching-space MCMC estimate (Section 7.1).
+	MethodSampled Method = "sampled"
+	// MethodOEstimate is the O(n log n) O-estimate (Figure 5), the cascade
+	// floor that always completes.
+	MethodOEstimate Method = "oestimate"
+)
+
+// recoverToError converts a panic escaping a public entry point into an
+// ordinary error, so a malformed input or an internal bug cannot crash the
+// embedding process. Use with named return values:
+//
+//	defer recoverToError("Attack", &err)
+func recoverToError(op string, errp *error) {
+	if r := recover(); r != nil {
+		*errp = fmt.Errorf("anonrisk: %s: internal panic: %v", op, r)
+	}
+}
 
 // NewDatabase builds a database over n items; see dataset.New.
 func NewDatabase(n int, txs []Transaction) (*Database, error) { return dataset.New(n, txs) }
@@ -71,6 +122,7 @@ func ComputeStats(name string, db *Database) Stats {
 // identical support structure and — by the commutation of mining with
 // renaming — identical frequent itemsets up to the key.
 func Anonymize(db *Database, rng *rand.Rand) (release *Database, key *Mapping, err error) {
+	defer recoverToError("Anonymize", &err)
 	key = anonymize.NewRandomMapping(db.Items(), rng)
 	release, err = key.Apply(db)
 	if err != nil {
@@ -83,7 +135,16 @@ func Anonymize(db *Database, rng *rand.Rand) (release *Database, key *Mapping, e
 // tolerance tau and default settings (5 subset runs, propagation on,
 // comfort level 0.5). Use AssessRiskOptions for full control.
 func AssessRisk(db *Database, tau float64, rng *rand.Rand) (*Assessment, error) {
-	return recipe.AssessRisk(db.Table(), recipe.Options{
+	return AssessRiskCtx(context.Background(), db, tau, rng)
+}
+
+// AssessRiskCtx is AssessRisk under a work budget. When the budget runs out
+// mid-search the assessment degrades gracefully: the result carries the
+// largest α proven safe so far (a conservative lower bound) with Degraded
+// set, instead of failing.
+func AssessRiskCtx(ctx context.Context, db *Database, tau float64, rng *rand.Rand) (a *Assessment, err error) {
+	defer recoverToError("AssessRisk", &err)
+	return recipe.AssessRiskCtx(ctx, db.Table(), recipe.Options{
 		Tolerance: tau,
 		Propagate: true,
 		Rng:       rng,
@@ -92,7 +153,14 @@ func AssessRisk(db *Database, tau float64, rng *rand.Rand) (*Assessment, error) 
 
 // AssessRiskOptions runs the recipe with explicit options.
 func AssessRiskOptions(db *Database, opts AssessOptions) (*Assessment, error) {
-	return recipe.AssessRisk(db.Table(), opts)
+	return AssessRiskOptionsCtx(context.Background(), db, opts)
+}
+
+// AssessRiskOptionsCtx is AssessRiskOptions under a work budget; see
+// AssessRiskCtx for the degradation semantics.
+func AssessRiskOptionsCtx(ctx context.Context, db *Database, opts AssessOptions) (a *Assessment, err error) {
+	defer recoverToError("AssessRisk", &err)
+	return recipe.AssessRiskCtx(ctx, db.Table(), opts)
 }
 
 // NewBelief builds a belief function from one frequency interval per item.
@@ -144,35 +212,120 @@ func ConsistencyGraph(bf *BeliefFunction, db *Database) (*Graph, error) {
 // Σ_{compliant} 1/O_x (which needs no global matching), and simulation is
 // skipped.
 func Attack(bf *BeliefFunction, db *Database, simulate bool, rng *rand.Rand) (AttackReport, error) {
-	ft := db.Table()
-	rep := AttackReport{Items: ft.NItems}
-	oe, err := core.OEstimate(bf, ft, core.OEOptions{Propagate: true})
-	if err == bipartite.ErrInfeasible {
-		rep.Infeasible = true
-		oe, err = core.OEstimate(bf, ft, core.OEOptions{})
+	return AttackCtx(context.Background(), bf, db, AttackOptions{Simulate: simulate, Rng: rng})
+}
+
+// AttackOptions configures AttackCtx.
+type AttackOptions struct {
+	// Exact requests the permanent-based exact expectation (Section 4.1) as
+	// the preferred tier. It is #P-complete, so it only runs for domains with
+	// at most bipartite.MaxExactN items and degrades to sampling (then to the
+	// O-estimate) when the budget runs out.
+	Exact bool
+	// Simulate requests the matching-space MCMC estimate (Section 7.1),
+	// either as the preferred tier (when Exact is false) or as the first
+	// fallback.
+	Simulate bool
+	// Sampler configures the MCMC sampler; zero value means matching's
+	// defaults.
+	Sampler SamplerConfig
+	// Rng seeds the sampler. Nil is fine when neither Exact nor Simulate is
+	// set.
+	Rng *rand.Rand
+}
+
+// AttackCtx is Attack under a work budget, with a degradation cascade instead
+// of an error when the budget runs out:
+//
+//	exact (permanent DP)  →  sampled (MCMC)  →  O-estimate
+//
+// Each tier is attempted under whatever budget remains; on
+// budget.ErrBudgetExceeded the cascade falls through to the next tier. The
+// O-estimate floor is O(n log n) and always completes, so an expired deadline
+// yields a report with Degraded set rather than an error. An explicitly
+// canceled context is a hard abort (ErrCanceled) — cancellation means "stop",
+// not "hurry up".
+//
+// The report's Method records the tier that produced Expected; Degraded and
+// DegradedReason record whether (and why) a preferred tier was abandoned.
+func AttackCtx(ctx context.Context, bf *BeliefFunction, db *Database, opts AttackOptions) (rep AttackReport, err error) {
+	defer recoverToError("Attack", &err)
+	if cerr := ctx.Err(); cerr != nil && !errors.Is(cerr, context.DeadlineExceeded) {
+		return rep, budget.WrapContextErr(cerr)
 	}
-	if err != nil {
-		return rep, err
+
+	ft := db.Table()
+	rep = AttackReport{Items: ft.NItems, Method: MethodOEstimate}
+
+	// Floor first: the O-estimate must be available whatever happens to the
+	// expensive tiers, so it runs detached from the deadline (but aborts on
+	// explicit cancellation, checked above and inside the cascade below).
+	floorCtx := context.WithoutCancel(ctx)
+	oe, oerr := core.OEstimateCtx(floorCtx, bf, ft, core.OEOptions{Propagate: true})
+	if oerr == bipartite.ErrInfeasible {
+		rep.Infeasible = true
+		oe, oerr = core.OEstimateCtx(floorCtx, bf, ft, core.OEOptions{})
+	}
+	if oerr != nil {
+		return rep, oerr
 	}
 	rep.OEstimate = oe.Value
 	rep.ForcedCracks = oe.Forced
-	if simulate && !rep.Infeasible {
-		g, err := bipartite.Build(bf, dataset.GroupItems(ft))
-		if err != nil {
-			return rep, err
-		}
-		est, err := matching.EstimateCracks(g, matching.Config{}, rng)
-		if err == bipartite.ErrInfeasible {
-			rep.Infeasible = true
+	rep.Expected = oe.Value
+
+	if rep.Infeasible || (!opts.Exact && !opts.Simulate) {
+		return rep, nil
+	}
+
+	g, gerr := bipartite.Build(bf, dataset.GroupItems(ft))
+	if gerr != nil {
+		return rep, gerr
+	}
+
+	// Exact tier.
+	if opts.Exact && ft.NItems <= bipartite.MaxExactN {
+		v, eerr := core.ExactExpectedCracksCtx(ctx, g.ToExplicit())
+		switch {
+		case eerr == nil:
+			rep.Expected = v
+			rep.Method = MethodExact
 			return rep, nil
+		case budget.Degradable(eerr):
+			rep.Degraded = true
+			rep.DegradedReason = "exact tier: " + eerr.Error()
+		default:
+			return rep, eerr
 		}
-		if err != nil {
-			return rep, err
-		}
+	} else if opts.Exact {
+		rep.Degraded = true
+		rep.DegradedReason = fmt.Sprintf("exact tier: %d items exceed MaxExactN=%d",
+			ft.NItems, bipartite.MaxExactN)
+	}
+
+	// Sampling tier — the first fallback of the cascade, and the preferred
+	// tier when only Simulate was requested.
+	est, serr := matching.EstimateCracksCtx(ctx, g, opts.Sampler, opts.Rng)
+	switch {
+	case serr == bipartite.ErrInfeasible:
+		rep.Infeasible = true
+		return rep, nil
+	case serr == nil:
 		rep.Simulated = est.Mean
 		rep.SimulatedStdDev = est.StdDev
+		rep.Expected = est.Mean
+		rep.Method = MethodSampled
+		return rep, nil
+	case budget.Degradable(serr):
+		rep.Degraded = true
+		if rep.DegradedReason != "" {
+			rep.DegradedReason += "; "
+		}
+		rep.DegradedReason += "sampling tier: " + serr.Error()
+		// Fall through to the O-estimate floor already in the report.
+		return rep, nil
+	default:
+		return rep, serr
 	}
-	return rep, nil
 }
 
 // AttackReport summarizes an Attack run.
@@ -180,11 +333,20 @@ type AttackReport struct {
 	Items           int     // domain size
 	OEstimate       float64 // O-estimate of expected cracks
 	ForcedCracks    int     // propagation-forced assignments (certain knowledge)
-	Simulated       float64 // simulation estimate (0 unless simulate was set)
+	Simulated       float64 // simulation estimate (0 unless the sampler ran)
 	SimulatedStdDev float64
 	// Infeasible marks that no globally consistent perfect matching exists;
 	// OEstimate then carries the Section 5.3 per-item fallback.
 	Infeasible bool
+
+	// Expected is the best available estimate of the expected number of
+	// cracks; Method records which cascade tier produced it.
+	Expected float64
+	Method   Method
+	// Degraded marks that a preferred tier was requested but abandoned for
+	// budget reasons; DegradedReason says which and why.
+	Degraded       bool
+	DegradedReason string
 }
 
 // OEstimateFraction returns the O-estimate as a fraction of the domain.
@@ -195,18 +357,25 @@ func (r AttackReport) OEstimateFraction() float64 { return r.OEstimate / float64
 // the top sellers matter). Simulation is not run; interest[x] marks counted
 // items.
 func AttackSubset(bf *BeliefFunction, db *Database, interest []bool, rng *rand.Rand) (AttackReport, error) {
+	return AttackSubsetCtx(context.Background(), bf, db, interest)
+}
+
+// AttackSubsetCtx is AttackSubset under a work budget.
+func AttackSubsetCtx(ctx context.Context, bf *BeliefFunction, db *Database, interest []bool) (rep AttackReport, err error) {
+	defer recoverToError("AttackSubset", &err)
 	ft := db.Table()
-	rep := AttackReport{Items: ft.NItems}
-	oe, err := core.OEstimate(bf, ft, core.OEOptions{Propagate: true, Interest: interest})
+	rep = AttackReport{Items: ft.NItems, Method: MethodOEstimate}
+	oe, err := core.OEstimateCtx(ctx, bf, ft, core.OEOptions{Propagate: true, Interest: interest})
 	if err == bipartite.ErrInfeasible {
 		rep.Infeasible = true
-		oe, err = core.OEstimate(bf, ft, core.OEOptions{Interest: interest})
+		oe, err = core.OEstimateCtx(ctx, bf, ft, core.OEOptions{Interest: interest})
 	}
 	if err != nil {
 		return rep, err
 	}
 	rep.OEstimate = oe.Value
 	rep.ForcedCracks = oe.Forced
+	rep.Expected = oe.Value
 	return rep, nil
 }
 
@@ -215,11 +384,20 @@ func AttackSubset(bf *BeliefFunction, db *Database, interest []bool, rng *rand.R
 // crack mappings — feasible for small domains only (the direct method of
 // Section 4.1 is #P-complete).
 func CrackDistribution(bf *BeliefFunction, db *Database) ([]float64, error) {
+	return CrackDistributionCtx(context.Background(), bf, db)
+}
+
+// CrackDistributionCtx is CrackDistribution under a work budget. The
+// enumeration is exponential and has no cheaper substitute, so there is no
+// cascade here: when the budget runs out the error is returned
+// (budget.IsBudgetError reports true) and the caller decides what to do.
+func CrackDistributionCtx(ctx context.Context, bf *BeliefFunction, db *Database) (dist []float64, err error) {
+	defer recoverToError("CrackDistribution", &err)
 	g, err := ConsistencyGraph(bf, db)
 	if err != nil {
 		return nil, err
 	}
-	return core.CrackDistribution(g.ToExplicit())
+	return core.CrackDistributionCtx(ctx, g.ToExplicit())
 }
 
 // ExpectedCracksIgnorant is Lemma 1: exactly 1 for any domain size.
@@ -233,7 +411,8 @@ func ExpectedCracksExactKnowledge(db *Database) float64 {
 
 // MineFrequentItemsets mines all itemsets with at least the given fractional
 // support, using FP-Growth.
-func MineFrequentItemsets(db *Database, minSupportFraction float64) ([]FrequentItemset, error) {
+func MineFrequentItemsets(db *Database, minSupportFraction float64) (fis []FrequentItemset, err error) {
+	defer recoverToError("MineFrequentItemsets", &err)
 	abs, err := fim.AbsoluteSupport(db, minSupportFraction)
 	if err != nil {
 		return nil, err

@@ -166,6 +166,44 @@ func TestAttackInfeasible(t *testing.T) {
 	if !rep.Infeasible {
 		t.Error("want infeasible attack report")
 	}
+	// §5.3 per-item fallback: no item is compliant, so OE = Σ 1/O_x over the
+	// empty set.
+	if rep.OEstimate != 0 {
+		t.Errorf("fully non-compliant OE = %v, want 0", rep.OEstimate)
+	}
+	// Simulation is skipped for infeasible graphs.
+	if rep.Simulated != 0 || rep.SimulatedStdDev != 0 {
+		t.Errorf("infeasible report must skip simulation, got %v ± %v", rep.Simulated, rep.SimulatedStdDev)
+	}
+}
+
+func TestAttackInfeasiblePartialCompliance(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	db := bigMartDB(t)
+	// The two singleton-frequency items (1 and 4) guess wrong, destroying
+	// every global matching; the four 0.5-group items stay compliant.
+	ivs := []Interval{
+		{Lo: 0.5, Hi: 0.5}, {Lo: 0.9, Hi: 0.95}, {Lo: 0.5, Hi: 0.5},
+		{Lo: 0.5, Hi: 0.5}, {Lo: 0.9, Hi: 0.95}, {Lo: 0.5, Hi: 0.5},
+	}
+	bf, err := NewBelief(ivs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Attack(bf, db, true, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Infeasible {
+		t.Fatal("want infeasible attack report")
+	}
+	// §5.3: the four compliant items each keep outdegree 4 -> OE = 4·(1/4).
+	if math.Abs(rep.OEstimate-1) > 1e-9 {
+		t.Errorf("per-item fallback OE = %v, want 1", rep.OEstimate)
+	}
+	if rep.Expected != rep.OEstimate || rep.Method != MethodOEstimate {
+		t.Errorf("infeasible report: Expected %v Method %q, want the §5.3 O-estimate", rep.Expected, rep.Method)
+	}
 }
 
 func TestAssessRiskFacade(t *testing.T) {

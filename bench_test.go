@@ -7,9 +7,11 @@ package anonrisk
 // the matching sampler, and the exponential direct method).
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
+	"time"
 
 	"repro/internal/belief"
 	"repro/internal/bipartite"
@@ -158,6 +160,60 @@ func BenchmarkKanon(b *testing.B) { benchExperiment(b, "kanon") }
 
 // BenchmarkSanitize regenerates the randomization trade-off comparison.
 func BenchmarkSanitize(b *testing.B) { benchExperiment(b, "sanitize") }
+
+// BenchmarkOEstimateBudgeted times the same RETAIL O-estimate under an
+// active (but never-exhausted) budget. Compare against BenchmarkOEstimateRETAIL:
+// the per-item Charge plus the once-per-4096-ops context poll must stay
+// within a few percent of the unbudgeted loop.
+func BenchmarkOEstimateBudgeted(b *testing.B) {
+	ft, bf := retailSetup(b)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Hour)
+	defer cancel()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.OEstimateCtx(ctx, bf, ft, core.OEOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAttackRETAIL and BenchmarkAttackCtxRETAIL bracket the cascade
+// plumbing cost at the public API: same O-estimate work, with and without the
+// context/budget machinery and panic-recovery wrapper.
+func BenchmarkAttackRETAIL(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	db, err := datagen.RETAIL.Database(rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bf := BallparkKnowledge(db, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Attack(bf, db, false, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAttackCtxRETAIL(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	db, err := datagen.RETAIL.Database(rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bf := BallparkKnowledge(db, 0)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Hour)
+	defer cancel()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := AttackCtx(ctx, bf, db, AttackOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 // BenchmarkOEstimateScaling reports how the Figure 5 procedure scales with
 // the domain size (the paper: O(|D| + n log n)).

@@ -1,0 +1,23 @@
+#!/bin/sh
+# ci.sh — the repo's continuous-integration gate, runnable locally.
+#
+#   ./ci.sh          vet + build + race-enabled tests
+#   ./ci.sh -short   same, with -short tests
+#
+# Exits non-zero on the first failure.
+set -eu
+cd "$(dirname "$0")"
+
+short=""
+[ "${1:-}" = "-short" ] && short="-short"
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race $short ./...
+
+echo "ci: OK"

@@ -4,15 +4,19 @@
 //
 // Usage:
 //
-//	anonrisk [-tau 0.1] [-comfort 0.5] [-runs 5] [-seed 1] [-propagate] [-attack beliefs.txt] [file]
+//	anonrisk [-tau 0.1] [-comfort 0.5] [-runs 5] [-seed 1] [-propagate]
+//	         [-timeout 30s] [-max-work n] [-attack beliefs.txt] [file]
 //
 // With no file argument the database is read from standard input. The exit
-// status is 0 for a "disclose" verdict and 3 for "withhold". With -attack, a
-// concrete hacker belief function (see internal/belief.Parse for the format)
-// is evaluated against the data instead of running the recipe.
+// status is 0 for a "disclose" verdict, 3 for "withhold", 4 when the -timeout
+// or -max-work budget prevents even a degraded answer, and 1 for other
+// errors. With -attack, a concrete hacker belief function (see
+// internal/belief.Parse for the format) is evaluated against the data instead
+// of running the recipe.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -21,6 +25,7 @@ import (
 
 	"repro/internal/belief"
 	"repro/internal/bipartite"
+	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/recipe"
@@ -33,7 +38,10 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	propagate := flag.Bool("propagate", true, "apply degree-1 propagation in the O-estimates")
 	attack := flag.String("attack", "", "evaluate a hacker belief function from this file instead of running the recipe")
+	budgetCtx := cliutil.BudgetFlags()
 	flag.Parse()
+	ctx, cancel := budgetCtx()
+	defer cancel()
 
 	var in io.Reader = os.Stdin
 	name := "stdin"
@@ -53,10 +61,10 @@ func main() {
 		fatal(err)
 	}
 	if *attack != "" {
-		runAttack(ft, *attack, name)
+		runAttack(ctx, ft, *attack, name)
 		return
 	}
-	res, err := recipe.AssessRisk(ft, recipe.Options{
+	res, err := recipe.AssessRiskCtx(ctx, ft, recipe.Options{
 		Tolerance:    *tau,
 		Runs:         *runs,
 		Propagate:    *propagate,
@@ -80,6 +88,9 @@ func main() {
 		fmt.Printf("α_max            %.3f (largest compliancy within tolerance; comfort level %.2f)\n",
 			res.AlphaMax, *comfort)
 	}
+	if res.Degraded {
+		fmt.Printf("note             budget ran out (%s); α_max is a proven lower bound\n", res.DegradedReason)
+	}
 	fmt.Printf("decided by       %s\n", res.Stage)
 	if res.Disclose {
 		fmt.Println("verdict          DISCLOSE")
@@ -90,7 +101,7 @@ func main() {
 }
 
 // runAttack evaluates a concrete belief function against the data.
-func runAttack(ft *dataset.FrequencyTable, path, name string) {
+func runAttack(ctx context.Context, ft *dataset.FrequencyTable, path, name string) {
 	f, err := os.Open(path)
 	if err != nil {
 		fatal(err)
@@ -104,10 +115,10 @@ func runAttack(ft *dataset.FrequencyTable, path, name string) {
 	fmt.Printf("dataset          %s (%d items, %d transactions)\n", name, ft.NItems, ft.NTransactions)
 	fmt.Printf("belief function  %s (compliancy α = %.3f)\n", path, alpha)
 
-	oe, err := core.OEstimate(bf, ft, core.OEOptions{Propagate: true})
+	oe, err := core.OEstimateCtx(ctx, bf, ft, core.OEOptions{Propagate: true})
 	if err == bipartite.ErrInfeasible {
 		fmt.Println("note             no globally consistent mapping; §5.3 per-item estimate")
-		oe, err = core.OEstimate(bf, ft, core.OEOptions{})
+		oe, err = core.OEstimateCtx(ctx, bf, ft, core.OEOptions{})
 	}
 	if err != nil {
 		fatal(err)
@@ -120,6 +131,5 @@ func runAttack(ft *dataset.FrequencyTable, path, name string) {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "anonrisk:", err)
-	os.Exit(1)
+	cliutil.Fatal("anonrisk", err)
 }

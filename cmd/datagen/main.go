@@ -4,8 +4,11 @@
 //
 // Usage:
 //
-//	datagen -profile RETAIL [-seed 1] [-o retail.fimi]
+//	datagen -profile RETAIL [-seed 1] [-timeout 30s] [-o retail.fimi]
 //	datagen -quest -items 100 -trans 5000 [-o quest.fimi]
+//
+// Exit status: 0 ok, 4 when the -timeout budget runs out mid-generation,
+// 1 for other errors.
 package main
 
 import (
@@ -16,6 +19,8 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/budget"
+	"repro/internal/cliutil"
 	"repro/internal/datagen"
 	"repro/internal/dataset"
 )
@@ -27,27 +32,33 @@ func main() {
 	trans := flag.Int("trans", 5000, "quest: number of transactions")
 	seed := flag.Int64("seed", 1, "random seed")
 	out := flag.String("o", "", "output file (default stdout)")
+	budgetCtx := cliutil.BudgetFlags()
 	flag.Parse()
+	ctx, cancel := budgetCtx()
+	defer cancel()
 
 	rng := rand.New(rand.NewSource(*seed))
 	var db *dataset.Database
-	var err error
-	switch {
-	case *quest:
-		db, err = datagen.Quest(datagen.QuestConfig{Items: *items, Transactions: *trans}, rng)
-	case *profile != "":
-		plan, ok := datagen.ByName(strings.ToUpper(*profile))
-		if !ok {
-			var names []string
-			for _, p := range datagen.Benchmarks() {
-				names = append(names, p.Name)
+	err := budget.Run(ctx, func() error {
+		var gerr error
+		switch {
+		case *quest:
+			db, gerr = datagen.Quest(datagen.QuestConfig{Items: *items, Transactions: *trans}, rng)
+		case *profile != "":
+			plan, ok := datagen.ByName(strings.ToUpper(*profile))
+			if !ok {
+				var names []string
+				for _, p := range datagen.Benchmarks() {
+					names = append(names, p.Name)
+				}
+				return fmt.Errorf("unknown profile %q; available: %s", *profile, strings.Join(names, ", "))
 			}
-			fatal(fmt.Errorf("unknown profile %q; available: %s", *profile, strings.Join(names, ", ")))
+			db, gerr = plan.Database(rng)
+		default:
+			return fmt.Errorf("pass -profile <name> or -quest; see -help")
 		}
-		db, err = plan.Database(rng)
-	default:
-		fatal(fmt.Errorf("pass -profile <name> or -quest; see -help"))
-	}
+		return gerr
+	})
 	if err != nil {
 		fatal(err)
 	}
@@ -72,6 +83,5 @@ func main() {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "datagen:", err)
-	os.Exit(1)
+	cliutil.Fatal("datagen", err)
 }

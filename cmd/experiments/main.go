@@ -2,12 +2,15 @@
 //
 // Usage:
 //
-//	experiments [-run id[,id...]] [-seed n] [-quick] [-csv dir]
+//	experiments [-run id[,id...]] [-seed n] [-quick] [-timeout 5m] [-csv dir]
 //
 // With no -run flag every experiment executes in paper order. IDs: delta,
 // figure9, figure10, figure11, figure12, recipe, ablation, itemsets, kanon,
 // sanitize. With -csv, every result table is additionally written as
 // <dir>/<experiment>-<k>.csv for external plotting.
+//
+// Exit status: 0 ok, 2 for an unknown experiment id, 4 when the -timeout
+// budget runs out, 1 for other errors.
 package main
 
 import (
@@ -17,6 +20,8 @@ import (
 	"path/filepath"
 	"strings"
 
+	"repro/internal/budget"
+	"repro/internal/cliutil"
 	"repro/internal/experiments"
 )
 
@@ -25,7 +30,10 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	quick := flag.Bool("quick", false, "reduced simulation scale")
 	csvDir := flag.String("csv", "", "also write each table as CSV into this directory")
+	budgetCtx := cliutil.BudgetFlags()
 	flag.Parse()
+	ctx, cancel := budgetCtx()
+	defer cancel()
 
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
@@ -51,10 +59,15 @@ func main() {
 		}
 	}
 	for _, e := range list {
-		rep, err := e.Run(cfg)
+		var rep *experiments.Report
+		err := budget.Run(ctx, func() error {
+			var rerr error
+			rep, rerr = e.Run(cfg)
+			return rerr
+		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
-			os.Exit(1)
+			os.Exit(budget.ExitCode(err))
 		}
 		fmt.Println(rep)
 		if *csvDir != "" {
@@ -69,6 +82,5 @@ func main() {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "experiments:", err)
-	os.Exit(1)
+	cliutil.Fatal("experiments", err)
 }

@@ -4,7 +4,10 @@
 //
 // Usage:
 //
-//	fsmine [-minsup 0.1] [-algo apriori|fpgrowth] [-top n] [file]
+//	fsmine [-minsup 0.1] [-algo apriori|fpgrowth] [-top n] [-timeout 30s] [file]
+//
+// Exit status: 0 ok, 4 when the -timeout budget runs out mid-mine, 1 for
+// other errors.
 package main
 
 import (
@@ -14,6 +17,8 @@ import (
 	"os"
 	"sort"
 
+	"repro/internal/budget"
+	"repro/internal/cliutil"
 	"repro/internal/dataset"
 	"repro/internal/fim"
 )
@@ -23,7 +28,10 @@ func main() {
 	algo := flag.String("algo", "fpgrowth", "mining algorithm: apriori, fpgrowth or eclat")
 	top := flag.Int("top", 0, "print only the n most frequent itemsets (0 = all)")
 	minconf := flag.Float64("rules", 0, "also derive association rules with at least this confidence (0 = off)")
+	budgetCtx := cliutil.BudgetFlags()
 	flag.Parse()
+	ctx, cancel := budgetCtx()
+	defer cancel()
 
 	var in io.Reader = os.Stdin
 	if flag.NArg() > 0 {
@@ -43,17 +51,23 @@ func main() {
 		fatal(err)
 	}
 
+	// The miners are not context-aware; budget.Run bounds them from outside,
+	// which is fine because exhaustion exits the process.
 	var sets []fim.FrequentItemset
-	switch *algo {
-	case "apriori":
-		sets, err = fim.Apriori(db, abs)
-	case "fpgrowth":
-		sets, err = fim.FPGrowth(db, abs)
-	case "eclat":
-		sets, err = fim.Eclat(db, abs)
-	default:
-		err = fmt.Errorf("unknown algorithm %q (want apriori, fpgrowth or eclat)", *algo)
-	}
+	err = budget.Run(ctx, func() error {
+		var merr error
+		switch *algo {
+		case "apriori":
+			sets, merr = fim.Apriori(db, abs)
+		case "fpgrowth":
+			sets, merr = fim.FPGrowth(db, abs)
+		case "eclat":
+			sets, merr = fim.Eclat(db, abs)
+		default:
+			merr = fmt.Errorf("unknown algorithm %q (want apriori, fpgrowth or eclat)", *algo)
+		}
+		return merr
+	})
 	if err != nil {
 		fatal(err)
 	}
@@ -84,6 +98,5 @@ func main() {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "fsmine:", err)
-	os.Exit(1)
+	cliutil.Fatal("fsmine", err)
 }

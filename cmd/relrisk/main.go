@@ -16,7 +16,10 @@
 //
 // Usage:
 //
-//	relrisk [-know facts.txt] [-k 5] data.csv
+//	relrisk [-know facts.txt] [-k 5] [-timeout 30s] [-max-work n] data.csv
+//
+// Exit status: 0 ok, 4 when the budget prevents even a degraded answer,
+// 1 otherwise.
 package main
 
 import (
@@ -28,6 +31,8 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/budget"
+	"repro/internal/cliutil"
 	"repro/internal/kanon"
 	"repro/internal/relation"
 )
@@ -35,7 +40,10 @@ import (
 func main() {
 	knowPath := flag.String("know", "", "partial-knowledge facts file")
 	k := flag.Int("k", 0, "also report a k-anonymized release (0 = off)")
+	budgetCtx := cliutil.BudgetFlags()
 	flag.Parse()
+	ctx, cancel := budgetCtx()
+	defer cancel()
 	if flag.NArg() < 1 {
 		fatal(fmt.Errorf("usage: relrisk [-know facts] [-k n] data.csv"))
 	}
@@ -66,7 +74,7 @@ func main() {
 			fatal(err)
 		}
 	}
-	rep, err := relation.AssessDisclosure(rel, info, rel.Records() <= 20)
+	rep, err := relation.AssessDisclosureCtx(ctx, rel, info, rel.Records() <= 20)
 	if err != nil {
 		fatal(err)
 	}
@@ -78,13 +86,21 @@ func main() {
 	if rep.Infeasible {
 		fmt.Println("  note: the facts admit no globally consistent assignment; per-item §5.3 estimate shown")
 	}
+	if rep.Degraded {
+		fmt.Printf("  note: exact tier abandoned (%s); O-estimate shown\n", rep.DegradedReason)
+	}
 
 	if *k > 1 {
 		hierarchies := make([]kanon.Hierarchy, len(rel.Schema.Attrs))
 		for a, attr := range rel.Schema.Attrs {
 			hierarchies[a] = kanon.AutoHierarchy(attr)
 		}
-		res, err := kanon.Anonymize(rel, hierarchies, *k)
+		var res *kanon.Result
+		err := budget.Run(ctx, func() error {
+			var kerr error
+			res, kerr = kanon.Anonymize(rel, hierarchies, *k)
+			return kerr
+		})
 		if err != nil {
 			fatal(err)
 		}
@@ -195,6 +211,5 @@ func readKnowledge(r io.Reader, schema relation.Schema) (relation.PartialInfo, e
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "relrisk:", err)
-	os.Exit(1)
+	cliutil.Fatal("relrisk", err)
 }

@@ -69,6 +69,11 @@ func New(intervals []Interval) (*Function, error) {
 	}
 	ivs := make([]Interval, len(intervals))
 	for x, iv := range intervals {
+		// NaN passes every ordered comparison below and would silently poison
+		// downstream Contains checks, so reject it explicitly.
+		if math.IsNaN(iv.Lo) || math.IsNaN(iv.Hi) {
+			return nil, fmt.Errorf("belief: item %d: NaN bound in interval [%v,%v]", x, iv.Lo, iv.Hi)
+		}
 		if iv.Lo > iv.Hi+Epsilon {
 			return nil, fmt.Errorf("belief: item %d: inverted interval [%v,%v]", x, iv.Lo, iv.Hi)
 		}

@@ -1,0 +1,79 @@
+package belief
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzBeliefParse asserts Parse's contract on arbitrary bytes: it either
+// errors or returns a Function whose every interval is finite, ordered, and
+// inside [0, 1] — the invariants the rest of the system builds on.
+func FuzzBeliefParse(f *testing.F) {
+	f.Add("0 0.5\n")
+	f.Add("* 0 1\n2 0.25 0.75\n")
+	f.Add("# comment\n\n1 0.1 0.2 # trailing\n")
+	f.Add("0 NaN\n")
+	f.Add("0 Inf\n")
+	f.Add("0 -Inf 5\n")
+	f.Add("0 1e400\n")
+	f.Add("* 0.3\n")
+	f.Add("5 0.9 0.1\n")
+	f.Add("bad line\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		bf, err := Parse(strings.NewReader(in), 8)
+		if err != nil {
+			return
+		}
+		for x := 0; x < bf.Items(); x++ {
+			iv := bf.Interval(x)
+			if math.IsNaN(iv.Lo) || math.IsNaN(iv.Hi) || math.IsInf(iv.Lo, 0) || math.IsInf(iv.Hi, 0) {
+				t.Fatalf("item %d: non-finite interval %v escaped Parse", x, iv)
+			}
+			if iv.Lo < 0 || iv.Hi > 1 || iv.Lo > iv.Hi+Epsilon {
+				t.Fatalf("item %d: invalid interval %v escaped Parse", x, iv)
+			}
+		}
+		// Accepted functions must round-trip through Write.
+		var sb strings.Builder
+		if err := Write(&sb, bf); err != nil {
+			t.Fatalf("Write of accepted function: %v", err)
+		}
+		if _, err := Parse(strings.NewReader(sb.String()), 8); err != nil {
+			t.Fatalf("re-Parse of written function: %v", err)
+		}
+	})
+}
+
+func TestParseRejectsNonFinite(t *testing.T) {
+	for _, in := range []string{"0 NaN\n", "0 Inf\n", "0 0.1 Inf\n", "* NaN NaN\n", "0 1e999\n"} {
+		if _, err := Parse(strings.NewReader(in), 4); err == nil {
+			t.Errorf("Parse(%q): want non-finite error", in)
+		}
+	}
+}
+
+func TestNewRejectsNaN(t *testing.T) {
+	if _, err := New([]Interval{{Lo: math.NaN(), Hi: 1}}); err == nil {
+		t.Error("New with NaN Lo: want error")
+	}
+	if _, err := New([]Interval{{Lo: 0, Hi: math.NaN()}}); err == nil {
+		t.Error("New with NaN Hi: want error")
+	}
+	// ±Inf is clamped rather than rejected in New (the numeric API), but the
+	// result must be a valid interval.
+	bf, err := New([]Interval{{Lo: math.Inf(-1), Hi: math.Inf(1)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv := bf.Interval(0); iv.Lo != 0 || iv.Hi != 1 {
+		t.Errorf("Inf clamps to %v, want [0,1]", iv)
+	}
+}
+
+func TestParseRejectsOversizedLine(t *testing.T) {
+	in := "0 " + strings.Repeat("1", MaxParseLineBytes+10) + "\n"
+	if _, err := Parse(strings.NewReader(in), 4); err == nil {
+		t.Error("want oversized-line error")
+	}
+}

@@ -2,11 +2,31 @@ package belief
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 )
+
+// MaxParseLineBytes bounds one line of the Parse format. A legitimate fact is
+// tens of bytes; anything near the limit is malformed or hostile input.
+const MaxParseLineBytes = 1 << 16
+
+// parseBound parses one frequency bound, rejecting the NaN and ±Inf values
+// strconv.ParseFloat happily returns: they would either poison interval
+// comparisons (NaN compares false with everything) or defeat clamping.
+func parseBound(s string, no int) (float64, error) {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("belief: line %d: bad bound %q", no, s)
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("belief: line %d: non-finite bound %q", no, s)
+	}
+	return v, nil
+}
 
 // Parse reads a belief function from a simple text format, one fact per
 // line:
@@ -30,6 +50,7 @@ func Parse(r io.Reader, n int) (*Function, error) {
 	}
 	var lines []line
 	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<10), MaxParseLineBytes)
 	no := 0
 	for sc.Scan() {
 		no++
@@ -44,15 +65,15 @@ func Parse(r io.Reader, n int) (*Function, error) {
 		if len(fields) < 2 || len(fields) > 3 {
 			return nil, fmt.Errorf("belief: line %d: want '<item> <lo> [<hi>]'", no)
 		}
-		lo, err := strconv.ParseFloat(fields[1], 64)
+		lo, err := parseBound(fields[1], no)
 		if err != nil {
-			return nil, fmt.Errorf("belief: line %d: bad bound %q", no, fields[1])
+			return nil, err
 		}
 		hi := lo
 		if len(fields) == 3 {
-			hi, err = strconv.ParseFloat(fields[2], 64)
+			hi, err = parseBound(fields[2], no)
 			if err != nil {
-				return nil, fmt.Errorf("belief: line %d: bad bound %q", no, fields[2])
+				return nil, err
 			}
 		}
 		if lo > hi {
@@ -70,6 +91,9 @@ func Parse(r io.Reader, n int) (*Function, error) {
 		lines = append(lines, line{item: item, iv: iv})
 	}
 	if err := sc.Err(); err != nil {
+		if errors.Is(err, bufio.ErrTooLong) {
+			return nil, fmt.Errorf("belief: input line longer than %d bytes: %w", MaxParseLineBytes, err)
+		}
 		return nil, err
 	}
 	ivs := make([]Interval, n)

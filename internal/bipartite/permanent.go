@@ -1,8 +1,11 @@
 package bipartite
 
 import (
+	"context"
 	"fmt"
 	"math/big"
+
+	"repro/internal/budget"
 )
 
 // MaxExactN caps the size of graphs accepted by the exact counting
@@ -16,25 +19,22 @@ const MaxExactN = 24
 // programming over subsets of right vertices. It returns an error when
 // e.N > MaxExactN.
 func (e *Explicit) CountPerfectMatchings() (*big.Int, error) {
+	return e.CountPerfectMatchingsCtx(context.Background())
+}
+
+// CountPerfectMatchingsCtx is CountPerfectMatchings under a work budget: the
+// context's deadline and any budget.WithMaxOps operation limit are checked
+// once per budget window of DP states, so cancellation aborts the
+// exponential computation promptly instead of hanging a serving process.
+func (e *Explicit) CountPerfectMatchingsCtx(ctx context.Context) (*big.Int, error) {
 	if e.N > MaxExactN {
 		return nil, fmt.Errorf("bipartite: exact count needs n <= %d, got %d", MaxExactN, e.N)
 	}
-	n := e.N
-	size := 1 << uint(n)
-	dp := make([]*big.Int, size)
-	dp[0] = big.NewInt(1)
-	for s := 1; s < size; s++ {
-		row := popcount(uint(s)) - 1 // left vertex to place next
-		acc := new(big.Int)
-		for _, x := range e.Adj[row] {
-			bit := 1 << uint(x)
-			if s&bit != 0 && dp[s^bit] != nil && dp[s^bit].Sign() > 0 {
-				acc.Add(acc, dp[s^bit])
-			}
-		}
-		dp[s] = acc
+	bud := budget.New(ctx, budget.Config{})
+	if err := bud.Check(); err != nil {
+		return nil, err
 	}
-	return dp[size-1], nil
+	return e.countPerfectMatchings(bud)
 }
 
 func popcount(v uint) int {
@@ -58,7 +58,21 @@ func (e *Explicit) Permanent() (*big.Int, error) { return e.CountPerfectMatching
 // remaining left vertices to the remaining right vertices, so all minors that
 // share the removed left vertex come from a single DP table.
 func (e *Explicit) EdgeInclusionProbability() ([][]float64, error) {
-	total, err := e.CountPerfectMatchings()
+	return e.EdgeInclusionProbabilityCtx(context.Background())
+}
+
+// EdgeInclusionProbabilityCtx is EdgeInclusionProbability under a work
+// budget. The n+1 subset DPs it runs share one budget, so an operation limit
+// bounds the whole computation, not each table.
+func (e *Explicit) EdgeInclusionProbabilityCtx(ctx context.Context) ([][]float64, error) {
+	if e.N > MaxExactN {
+		return nil, fmt.Errorf("bipartite: exact count needs n <= %d, got %d", MaxExactN, e.N)
+	}
+	bud := budget.New(ctx, budget.Config{})
+	if err := bud.Check(); err != nil {
+		return nil, err
+	}
+	total, err := e.countPerfectMatchings(bud)
 	if err != nil {
 		return nil, err
 	}
@@ -69,7 +83,7 @@ func (e *Explicit) EdgeInclusionProbability() ([][]float64, error) {
 	out := make([][]float64, e.N)
 	for w := 0; w < e.N; w++ {
 		out[w] = make([]float64, e.N)
-		counts, err := e.matchingCountsFixingLeft(w)
+		counts, err := e.matchingCountsFixingLeft(w, bud)
 		if err != nil {
 			return nil, err
 		}
@@ -81,10 +95,34 @@ func (e *Explicit) EdgeInclusionProbability() ([][]float64, error) {
 	return out, nil
 }
 
+// countPerfectMatchings is the budgeted DP core shared by the Ctx entry
+// points; bud may be nil for unbudgeted use.
+func (e *Explicit) countPerfectMatchings(bud *budget.Budget) (*big.Int, error) {
+	n := e.N
+	size := 1 << uint(n)
+	dp := make([]*big.Int, size)
+	dp[0] = big.NewInt(1)
+	for s := 1; s < size; s++ {
+		if err := bud.Charge(1); err != nil {
+			return nil, fmt.Errorf("bipartite: counting perfect matchings: %w", err)
+		}
+		row := popcount(uint(s)) - 1
+		acc := new(big.Int)
+		for _, x := range e.Adj[row] {
+			bit := 1 << uint(x)
+			if s&bit != 0 && dp[s^bit] != nil && dp[s^bit].Sign() > 0 {
+				acc.Add(acc, dp[s^bit])
+			}
+		}
+		dp[s] = acc
+	}
+	return dp[size-1], nil
+}
+
 // matchingCountsFixingLeft returns, for each right vertex x adjacent to left
 // vertex w, the number of perfect matchings of the graph that contain the
 // edge (w′, x). Non-adjacent entries are zero.
-func (e *Explicit) matchingCountsFixingLeft(w int) ([]*big.Int, error) {
+func (e *Explicit) matchingCountsFixingLeft(w int, bud *budget.Budget) ([]*big.Int, error) {
 	n := e.N
 	// DP over the left vertices excluding w, in order.
 	rows := make([]int, 0, n-1)
@@ -97,6 +135,9 @@ func (e *Explicit) matchingCountsFixingLeft(w int) ([]*big.Int, error) {
 	dp := make([]*big.Int, size)
 	dp[0] = big.NewInt(1)
 	for s := 1; s < size; s++ {
+		if err := bud.Charge(1); err != nil {
+			return nil, fmt.Errorf("bipartite: counting fixed-edge matchings: %w", err)
+		}
 		c := popcount(uint(s))
 		if c > len(rows) {
 			continue
@@ -132,8 +173,20 @@ func (e *Explicit) matchingCountsFixingLeft(w int) ([]*big.Int, error) {
 // retain it. Enumeration explodes combinatorially; an error is returned when
 // the matching count exceeds maxCount (pass 0 for a default of 10_000_000).
 func (e *Explicit) EnumeratePerfectMatchings(maxCount int, visit func(match []int)) error {
+	return e.EnumeratePerfectMatchingsCtx(context.Background(), maxCount, visit)
+}
+
+// EnumeratePerfectMatchingsCtx is EnumeratePerfectMatchings under a work
+// budget: one operation is charged per branch of the backtracking search, so
+// cancellation aborts within one budget window even when the graph admits no
+// early matchings at all.
+func (e *Explicit) EnumeratePerfectMatchingsCtx(ctx context.Context, maxCount int, visit func(match []int)) error {
 	if maxCount <= 0 {
 		maxCount = 10_000_000
+	}
+	bud := budget.New(ctx, budget.Config{})
+	if err := bud.Check(); err != nil {
+		return err
 	}
 	match := make([]int, e.N)
 	used := make([]bool, e.N)
@@ -149,6 +202,9 @@ func (e *Explicit) EnumeratePerfectMatchings(maxCount int, visit func(match []in
 			return nil
 		}
 		for _, x := range e.Adj[w] {
+			if err := bud.Charge(1); err != nil {
+				return fmt.Errorf("bipartite: enumerating perfect matchings: %w", err)
+			}
 			if !used[x] {
 				used[x] = true
 				match[w] = x

@@ -1,6 +1,11 @@
 package bipartite
 
-import "math/rand"
+import (
+	"context"
+	"math/rand"
+
+	"repro/internal/budget"
+)
 
 // RasmussenEstimate runs Rasmussen's simple unbiased randomized estimator for
 // the permanent of a 0/1 matrix (Random Structures and Algorithms, 1994 —
@@ -15,8 +20,21 @@ import "math/rand"
 // in ~O(n²²)); this estimator is included so that the comparison with the
 // O-estimate can be reproduced.
 func RasmussenEstimate(e *Explicit, runs int, rng *rand.Rand) float64 {
+	v, _ := RasmussenEstimateCtx(context.Background(), e, runs, rng)
+	return v
+}
+
+// RasmussenEstimateCtx is RasmussenEstimate under a work budget: one
+// operation per scanned row, checked once per budget window. On exhaustion
+// it returns the mean over the runs completed so far together with the
+// budget error, so callers can keep the partial estimate when degrading.
+func RasmussenEstimateCtx(ctx context.Context, e *Explicit, runs int, rng *rand.Rand) (float64, error) {
 	if runs <= 0 {
 		runs = 1
+	}
+	bud := budget.New(ctx, budget.Config{})
+	if err := bud.Check(); err != nil {
+		return 0, err
 	}
 	total := 0.0
 	used := make([]bool, e.N)
@@ -27,6 +45,12 @@ func RasmussenEstimate(e *Explicit, runs int, rng *rand.Rand) float64 {
 		}
 		est := 1.0
 		for w := 0; w < e.N && est > 0; w++ {
+			if err := bud.Charge(1); err != nil {
+				if r > 0 {
+					return total / float64(r), err
+				}
+				return 0, err
+			}
 			free = free[:0]
 			for _, x := range e.Adj[w] {
 				if !used[x] {
@@ -42,5 +66,5 @@ func RasmussenEstimate(e *Explicit, runs int, rng *rand.Rand) float64 {
 		}
 		total += est
 	}
-	return total / float64(runs)
+	return total / float64(runs), nil
 }

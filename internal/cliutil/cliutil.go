@@ -1,0 +1,42 @@
+// Package cliutil holds the budget plumbing shared by the cmd/ binaries:
+// the -timeout / -max-work flag pair, the context they induce, and the
+// exit-code convention (0 ok, 1 error, 4 budget exhaustion or cancellation;
+// individual commands may add their own domain statuses, like anonrisk's 3
+// for a withhold verdict).
+package cliutil
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/budget"
+)
+
+// BudgetFlags registers -timeout and -max-work on the default flag set and
+// returns a builder to call after flag.Parse. The builder's context carries
+// the wall-clock deadline and the per-computation operation limit; its cancel
+// func must be deferred.
+func BudgetFlags() func() (context.Context, context.CancelFunc) {
+	timeout := flag.Duration("timeout", 0,
+		"wall-clock budget (e.g. 30s); expensive stages degrade or the command exits 4 (0 = unlimited)")
+	maxWork := flag.Int64("max-work", 0,
+		"operation-count budget per expensive computation (0 = unlimited)")
+	return func() (context.Context, context.CancelFunc) {
+		ctx := context.Background()
+		cancel := context.CancelFunc(func() {})
+		if *timeout > 0 {
+			ctx, cancel = context.WithTimeout(ctx, *timeout)
+		}
+		ctx = budget.WithMaxOps(ctx, *maxWork)
+		return ctx, cancel
+	}
+}
+
+// Fatal prints the error prefixed with the command name and exits with the
+// convention's status: 4 for budget exhaustion or cancellation, 1 otherwise.
+func Fatal(name string, err error) {
+	fmt.Fprintln(os.Stderr, name+":", err)
+	os.Exit(budget.ExitCode(err))
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 
@@ -19,7 +20,15 @@ import (
 // Counting permanents is #P-complete, so the graph must satisfy
 // n ≤ bipartite.MaxExactN.
 func ExactExpectedCracks(e *bipartite.Explicit) (float64, error) {
-	probs, err := e.EdgeInclusionProbability()
+	return ExactExpectedCracksCtx(context.Background(), e)
+}
+
+// ExactExpectedCracksCtx is ExactExpectedCracks under a work budget: the
+// context's deadline and operation limit bound the n+1 permanent DPs, so the
+// #P-complete direct method can be attempted speculatively and abandoned
+// (budget.ErrBudgetExceeded) by a degradation cascade.
+func ExactExpectedCracksCtx(ctx context.Context, e *bipartite.Explicit) (float64, error) {
+	probs, err := e.EdgeInclusionProbabilityCtx(ctx)
 	if err != nil {
 		return 0, err
 	}
@@ -35,9 +44,16 @@ func ExactExpectedCracks(e *bipartite.Explicit) (float64, error) {
 // enumeration. Exponential in n; intended for worked examples and for
 // validating the closed forms.
 func CrackDistribution(e *bipartite.Explicit) ([]float64, error) {
+	return CrackDistributionCtx(context.Background(), e)
+}
+
+// CrackDistributionCtx is CrackDistribution under a work budget, aborting
+// the exhaustive enumeration when the context's deadline or operation limit
+// runs out.
+func CrackDistributionCtx(ctx context.Context, e *bipartite.Explicit) ([]float64, error) {
 	hist := make([]int, e.N+1)
 	total := 0
-	err := e.EnumeratePerfectMatchings(0, func(match []int) {
+	err := e.EnumeratePerfectMatchingsCtx(ctx, 0, func(match []int) {
 		cracks := 0
 		for w, x := range match {
 			if w == x {

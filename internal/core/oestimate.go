@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/belief"
 	"repro/internal/bipartite"
+	"repro/internal/budget"
 	"repro/internal/dataset"
 )
 
@@ -55,6 +57,14 @@ func (r *OEResult) Fraction() float64 {
 // Non-compliant items cannot be cracked by any consistent mapping and
 // contribute zero (Section 5.3). Runs in O(n log n) over frequency groups.
 func OEstimate(bf *belief.Function, ft *dataset.FrequencyTable, opts OEOptions) (*OEResult, error) {
+	return OEstimateCtx(context.Background(), bf, ft, opts)
+}
+
+// OEstimateCtx is OEstimate under a work budget. The estimate runs in
+// O(n log n) and essentially always completes — it is the floor of the
+// degradation cascade — but the budget checks let a canceled context abort
+// even this path promptly on very large domains.
+func OEstimateCtx(ctx context.Context, bf *belief.Function, ft *dataset.FrequencyTable, opts OEOptions) (*OEResult, error) {
 	if opts.Mask != nil && len(opts.Mask) != ft.NItems {
 		return nil, fmt.Errorf("core: mask has %d entries, want %d", len(opts.Mask), ft.NItems)
 	}
@@ -62,7 +72,7 @@ func OEstimate(bf *belief.Function, ft *dataset.FrequencyTable, opts OEOptions) 
 	if err != nil {
 		return nil, err
 	}
-	return OEstimateGraph(g, opts)
+	return OEstimateGraphCtx(ctx, g, opts)
 }
 
 // OEstimateGraph computes the O-estimate directly from a prebuilt graph.
@@ -71,6 +81,12 @@ func OEstimate(bf *belief.Function, ft *dataset.FrequencyTable, opts OEOptions) 
 // functions over frequencies or by any other kind of partial information —
 // the estimate applies unchanged.
 func OEstimateGraph(g *bipartite.Graph, opts OEOptions) (*OEResult, error) {
+	return OEstimateGraphCtx(context.Background(), g, opts)
+}
+
+// OEstimateGraphCtx is OEstimateGraph under a work budget: one operation per
+// item summed, checked once per budget window.
+func OEstimateGraphCtx(ctx context.Context, g *bipartite.Graph, opts OEOptions) (*OEResult, error) {
 	n := g.Items()
 	if opts.Mask != nil && len(opts.Mask) != n {
 		return nil, fmt.Errorf("core: mask has %d entries, want %d", len(opts.Mask), n)
@@ -78,12 +94,19 @@ func OEstimateGraph(g *bipartite.Graph, opts OEOptions) (*OEResult, error) {
 	if opts.Interest != nil && len(opts.Interest) != n {
 		return nil, fmt.Errorf("core: interest mask has %d entries, want %d", len(opts.Interest), n)
 	}
+	bud := budget.New(ctx, budget.Config{CheckEvery: 4096})
+	if err := bud.Check(); err != nil {
+		return nil, err
+	}
 	counted := func(x int) bool { return opts.Interest == nil || opts.Interest[x] }
 	res := &OEResult{Crackable: make([]bool, n)}
 
 	if !opts.Propagate {
 		res.Outdeg = g.Outdegrees()
 		for x := 0; x < n; x++ {
+			if err := bud.Charge(1); err != nil {
+				return nil, fmt.Errorf("core: O-estimate: %w", err)
+			}
 			if !g.Compliant(x) || (opts.Mask != nil && !opts.Mask[x]) {
 				continue
 			}
@@ -98,6 +121,9 @@ func OEstimateGraph(g *bipartite.Graph, opts OEOptions) (*OEResult, error) {
 	p, err := g.Propagate()
 	if err != nil {
 		return nil, err
+	}
+	if err := bud.Charge(int64(n)); err != nil { // propagation visits every item at least once
+		return nil, fmt.Errorf("core: O-estimate propagation: %w", err)
 	}
 	res.Outdeg = p.Outdeg
 	res.Forced = len(p.Forced)
@@ -115,6 +141,9 @@ func OEstimateGraph(g *bipartite.Graph, opts OEOptions) (*OEResult, error) {
 		}
 	}
 	for x := 0; x < n; x++ {
+		if err := bud.Charge(1); err != nil {
+			return nil, fmt.Errorf("core: O-estimate: %w", err)
+		}
 		if opts.Mask != nil && !opts.Mask[x] {
 			continue
 		}

@@ -1,0 +1,58 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadFIMI asserts the reader's contract on arbitrary bytes: it either
+// returns a database that survives a write/read round trip, or a descriptive
+// error — never a panic, and never an item id beyond the configured limit.
+func FuzzReadFIMI(f *testing.F) {
+	f.Add("1 2 3\n4 5\n")
+	f.Add("0\n")
+	f.Add("")
+	f.Add("  7  7   7\n\n\n2\n")
+	f.Add("-1\n")
+	f.Add("999999999999\n")
+	f.Add("1 two 3\n")
+	f.Add("\t 5 \r\n 6\r\n")
+	f.Add("18446744073709551616\n") // overflows int64
+	f.Fuzz(func(t *testing.T, in string) {
+		lim := Limits{MaxItemID: 1 << 12, MaxLineBytes: 1 << 12}
+		db, err := ReadFIMILimited(strings.NewReader(in), 0, lim)
+		if err != nil {
+			return
+		}
+		if db.Items() > 1<<12+1 {
+			t.Fatalf("universe %d escaped the item-id limit", db.Items())
+		}
+		var buf bytes.Buffer
+		if err := WriteFIMI(&buf, db); err != nil {
+			t.Fatalf("write-back of accepted input: %v", err)
+		}
+		back, err := ReadFIMILimited(&buf, db.Items(), lim)
+		if err != nil {
+			t.Fatalf("round trip of accepted input: %v", err)
+		}
+		if back.Transactions() != db.Transactions() {
+			t.Fatalf("round trip: %d transactions, want %d", back.Transactions(), db.Transactions())
+		}
+
+		// The streaming counts reader must agree with the materializing one.
+		ft, err := ReadFIMICountsLimited(strings.NewReader(in), db.Items(), lim)
+		if err != nil {
+			t.Fatalf("counts reader rejects what ReadFIMI accepted: %v", err)
+		}
+		want := db.Table()
+		if ft.NTransactions != want.NTransactions {
+			t.Fatalf("counts: %d transactions, want %d", ft.NTransactions, want.NTransactions)
+		}
+		for x, c := range want.Counts {
+			if ft.Counts[x] != c {
+				t.Fatalf("counts[%d] = %d, want %d", x, ft.Counts[x], c)
+			}
+		}
+	})
+}

@@ -2,18 +2,108 @@ package dataset
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
 )
 
+// Input hardening defaults. FIMI files come from outside the trust boundary
+// (public benchmark mirrors, user uploads), so the readers bound both the
+// item-id magnitude — a single line "999999999999" would otherwise allocate a
+// terabyte-scale counts slice — and the line length.
+const (
+	// DefaultMaxItemID caps item ids at 16M: larger than every published
+	// FIMI benchmark by orders of magnitude, small enough that the induced
+	// dense universe stays comfortably in memory.
+	DefaultMaxItemID = 1 << 24
+	// DefaultMaxLineBytes caps one transaction line at 16 MiB.
+	DefaultMaxLineBytes = 1 << 24
+)
+
+// Limits bounds what the FIMI readers accept. The zero value means the
+// package defaults; use a negative field to make that dimension unlimited.
+type Limits struct {
+	MaxItemID    int // largest acceptable item id (0 = DefaultMaxItemID, <0 = unlimited)
+	MaxLineBytes int // longest acceptable input line (0 = DefaultMaxLineBytes, <0 = unlimited)
+}
+
+func (l Limits) maxItemID() int {
+	switch {
+	case l.MaxItemID < 0:
+		return int(^uint(0) >> 1)
+	case l.MaxItemID == 0:
+		return DefaultMaxItemID
+	default:
+		return l.MaxItemID
+	}
+}
+
+// newScanner builds a line scanner honoring the byte limit. The initial
+// capacity must not exceed the max: bufio.Scanner takes the larger of the two
+// as the effective token limit.
+func (l Limits) newScanner(r io.Reader) *bufio.Scanner {
+	maxLine := l.maxLineBytes()
+	initial := 1 << 20
+	if initial > maxLine {
+		initial = maxLine
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, initial), maxLine)
+	return sc
+}
+
+func (l Limits) maxLineBytes() int {
+	switch {
+	case l.MaxLineBytes < 0:
+		return int(^uint(0)>>1) - 1
+	case l.MaxLineBytes == 0:
+		return DefaultMaxLineBytes
+	default:
+		return l.MaxLineBytes
+	}
+}
+
+// scanErr converts scanner failures into descriptive errors; the stock
+// bufio.ErrTooLong message does not say which limit was hit or how to raise
+// it.
+func scanErr(err error, lim Limits) error {
+	if errors.Is(err, bufio.ErrTooLong) {
+		return fmt.Errorf("dataset: input line longer than %d bytes (raise Limits.MaxLineBytes to accept): %w",
+			lim.maxLineBytes(), err)
+	}
+	return fmt.Errorf("dataset: reading FIMI input: %w", err)
+}
+
+// parseItem parses and validates one item id field.
+func parseItem(f string, line, maxID int) (int, error) {
+	v, err := strconv.Atoi(f)
+	if err != nil {
+		return 0, fmt.Errorf("dataset: line %d: %q is not an item id", line, f)
+	}
+	if v < 0 {
+		return 0, fmt.Errorf("dataset: line %d: negative item id %d", line, v)
+	}
+	if v > maxID {
+		return 0, fmt.Errorf("dataset: line %d: item id %d exceeds limit %d (raise Limits.MaxItemID to accept)",
+			line, v, maxID)
+	}
+	return v, nil
+}
+
 // ReadFIMI parses a database in the FIMI workshop format: one transaction per
 // line, items as whitespace-separated non-negative integers. Blank lines are
 // skipped. The universe size is max(item)+1 unless a larger n is given
-// (pass n = 0 to infer).
+// (pass n = 0 to infer). Inputs are bounded by the default Limits; use
+// ReadFIMILimited for other bounds.
 func ReadFIMI(r io.Reader, n int) (*Database, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	return ReadFIMILimited(r, n, Limits{})
+}
+
+// ReadFIMILimited is ReadFIMI with explicit input bounds.
+func ReadFIMILimited(r io.Reader, n int, lim Limits) (*Database, error) {
+	sc := lim.newScanner(r)
+	maxID := lim.maxItemID()
 	var txs []Transaction
 	maxItem := -1
 	line := 0
@@ -25,12 +115,9 @@ func ReadFIMI(r io.Reader, n int) (*Database, error) {
 		}
 		t := make(Transaction, 0, len(fields))
 		for _, f := range fields {
-			v, err := strconv.Atoi(f)
+			v, err := parseItem(f, line, maxID)
 			if err != nil {
-				return nil, fmt.Errorf("dataset: line %d: %q is not an item id", line, f)
-			}
-			if v < 0 {
-				return nil, fmt.Errorf("dataset: line %d: negative item id %d", line, v)
+				return nil, err
 			}
 			if v > maxItem {
 				maxItem = v
@@ -40,7 +127,7 @@ func ReadFIMI(r io.Reader, n int) (*Database, error) {
 		txs = append(txs, t)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("dataset: reading FIMI input: %w", err)
+		return nil, scanErr(err, lim)
 	}
 	if len(txs) == 0 {
 		return nil, fmt.Errorf("dataset: FIMI input contains no transactions")
@@ -95,10 +182,18 @@ func WriteFIMI(w io.Writer, db *Database) error {
 // frequency table, without materializing transactions — the risk analyses
 // need nothing else, and this handles releases far larger than memory.
 // Duplicate items within a line are counted once, matching ReadFIMI's
-// de-duplication. Pass n = 0 to infer the universe from the data.
+// de-duplication. Pass n = 0 to infer the universe from the data. Inputs are
+// bounded by the default Limits; use ReadFIMICountsLimited for other bounds.
 func ReadFIMICounts(r io.Reader, n int) (*FrequencyTable, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	return ReadFIMICountsLimited(r, n, Limits{})
+}
+
+// ReadFIMICountsLimited is ReadFIMICounts with explicit input bounds. The
+// item-id limit matters most here: counts is dense in the largest id, so an
+// unbounded id turns one short line into an enormous allocation.
+func ReadFIMICountsLimited(r io.Reader, n int, lim Limits) (*FrequencyTable, error) {
+	sc := lim.newScanner(r)
+	maxID := lim.maxItemID()
 	var counts []int
 	seenLine := map[int]bool{}
 	m := 0
@@ -114,12 +209,9 @@ func ReadFIMICounts(r io.Reader, n int) (*FrequencyTable, error) {
 			delete(seenLine, k)
 		}
 		for _, f := range fields {
-			v, err := strconv.Atoi(f)
+			v, err := parseItem(f, line, maxID)
 			if err != nil {
-				return nil, fmt.Errorf("dataset: line %d: %q is not an item id", line, f)
-			}
-			if v < 0 {
-				return nil, fmt.Errorf("dataset: line %d: negative item id %d", line, v)
+				return nil, err
 			}
 			if seenLine[v] {
 				continue
@@ -132,7 +224,7 @@ func ReadFIMICounts(r io.Reader, n int) (*FrequencyTable, error) {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("dataset: reading FIMI input: %w", err)
+		return nil, scanErr(err, lim)
 	}
 	if m == 0 {
 		return nil, fmt.Errorf("dataset: FIMI input contains no transactions")

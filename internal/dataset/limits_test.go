@@ -1,0 +1,63 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReadFIMIRejectsHugeItemID(t *testing.T) {
+	// Without the limit this one line would allocate a multi-gigabyte dense
+	// counts slice.
+	in := "999999999999\n"
+	if _, err := ReadFIMI(strings.NewReader(in), 0); err == nil {
+		t.Error("ReadFIMI: want item-id limit error")
+	}
+	if _, err := ReadFIMICounts(strings.NewReader(in), 0); err == nil {
+		t.Error("ReadFIMICounts: want item-id limit error")
+	}
+}
+
+func TestReadFIMILimitedCustomBounds(t *testing.T) {
+	in := "0 1 500\n"
+	if _, err := ReadFIMILimited(strings.NewReader(in), 0, Limits{MaxItemID: 100}); err == nil {
+		t.Error("want error for id 500 under limit 100")
+	}
+	db, err := ReadFIMILimited(strings.NewReader(in), 0, Limits{MaxItemID: 500})
+	if err != nil {
+		t.Fatalf("id at the limit must parse: %v", err)
+	}
+	if db.Items() != 501 {
+		t.Errorf("universe = %d, want 501", db.Items())
+	}
+	ft, err := ReadFIMICountsLimited(strings.NewReader(in), 0, Limits{MaxItemID: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ft.NItems != 501 || ft.Counts[500] != 1 {
+		t.Errorf("counts table = %d items, counts[500]=%d", ft.NItems, ft.Counts[500])
+	}
+}
+
+func TestReadFIMIRejectsOversizedLine(t *testing.T) {
+	long := strings.Repeat("1 ", 200) // 400 bytes
+	lim := Limits{MaxLineBytes: 64}
+	if _, err := ReadFIMILimited(strings.NewReader(long), 0, lim); err == nil {
+		t.Error("ReadFIMILimited: want line-length error")
+	} else if !strings.Contains(err.Error(), "64 bytes") {
+		t.Errorf("error should name the limit: %v", err)
+	}
+	if _, err := ReadFIMICountsLimited(strings.NewReader(long), 0, lim); err == nil {
+		t.Error("ReadFIMICountsLimited: want line-length error")
+	}
+}
+
+func TestReadFIMIUnlimitedOptOut(t *testing.T) {
+	in := strings.Repeat("7 ", 100) + "\n"
+	db, err := ReadFIMILimited(strings.NewReader(in), 0, Limits{MaxItemID: -1, MaxLineBytes: -1})
+	if err != nil {
+		t.Fatalf("negative limits mean unlimited: %v", err)
+	}
+	if db.Items() != 8 {
+		t.Errorf("universe = %d, want 8", db.Items())
+	}
+}

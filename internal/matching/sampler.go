@@ -6,12 +6,14 @@
 package matching
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
 	"sync"
 
 	"repro/internal/bipartite"
+	"repro/internal/budget"
 	"repro/internal/dataset"
 )
 
@@ -247,6 +249,16 @@ func (e *Estimate) Fraction(n int) float64 { return e.Mean / float64(n) }
 // execute in parallel; results are deterministic for a given rng because
 // every run's seed is drawn from it up front.
 func EstimateCracks(g *bipartite.Graph, cfg Config, rng *rand.Rand) (*Estimate, error) {
+	return EstimateCracksCtx(context.Background(), g, cfg, rng)
+}
+
+// EstimateCracksCtx is EstimateCracks under a work budget: every run charges
+// one operation per move proposal, so a deadline or operation limit aborts
+// the chain between sweeps instead of hanging. Each parallel run derives its
+// own budget from the shared context (a Budget is single-goroutine), so an
+// operation limit bounds each run rather than their sum. The first budget
+// error encountered is returned; no partial estimate is produced.
+func EstimateCracksCtx(ctx context.Context, g *bipartite.Graph, cfg Config, rng *rand.Rand) (*Estimate, error) {
 	cfg = cfg.withDefaults()
 	est := &Estimate{
 		Samples:  cfg.Samples,
@@ -262,7 +274,8 @@ func EstimateCracks(g *bipartite.Graph, cfg Config, rng *rand.Rand) (*Estimate, 
 		wg.Add(1)
 		go func(run int) {
 			defer wg.Done()
-			est.RunMeans[run], errs[run] = simulateRun(g, cfg, rand.New(rand.NewSource(seeds[run])))
+			bud := budget.New(ctx, budget.Config{})
+			est.RunMeans[run], errs[run] = simulateRun(g, cfg, rand.New(rand.NewSource(seeds[run])), bud)
 		}(run)
 	}
 	wg.Wait()
@@ -276,26 +289,46 @@ func EstimateCracks(g *bipartite.Graph, cfg Config, rng *rand.Rand) (*Estimate, 
 	return est, nil
 }
 
-// simulateRun executes one independent simulation run.
-func simulateRun(g *bipartite.Graph, cfg Config, rng *rand.Rand) (float64, error) {
+// simulateRun executes one independent simulation run, charging the budget
+// one operation per proposal (n per sweep).
+func simulateRun(g *bipartite.Graph, cfg Config, rng *rand.Rand, bud *budget.Budget) (float64, error) {
+	if err := bud.Check(); err != nil {
+		return 0, err
+	}
+	sweepCost := int64(g.Items())
 	s, err := NewSampler(g, rng)
 	if err != nil {
 		return 0, err
 	}
 	s.PaperMoves = cfg.PaperMoves
-	if err := s.Reseed(cfg.SeedSweeps); err != nil {
+	reseed := func() error {
+		if err := s.seed(); err != nil {
+			return err
+		}
+		for i := 0; i < cfg.SeedSweeps; i++ {
+			if err := bud.Charge(sweepCost); err != nil {
+				return fmt.Errorf("matching: burn-in: %w", err)
+			}
+			s.Step()
+		}
+		return nil
+	}
+	if err := reseed(); err != nil {
 		return 0, err
 	}
 	total := 0.0
 	sinceSeed := 0
 	for k := 0; k < cfg.Samples; k++ {
 		if sinceSeed == cfg.SamplesPerSeed {
-			if err := s.Reseed(cfg.SeedSweeps); err != nil {
+			if err := reseed(); err != nil {
 				return 0, err
 			}
 			sinceSeed = 0
 		}
 		for sw := 0; sw < cfg.SampleGap; sw++ {
+			if err := bud.Charge(sweepCost); err != nil {
+				return 0, fmt.Errorf("matching: sampling: %w", err)
+			}
 			s.Step()
 		}
 		total += float64(s.Cracks())

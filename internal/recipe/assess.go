@@ -6,11 +6,13 @@
 package recipe
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
 
 	"repro/internal/belief"
+	"repro/internal/budget"
 	"repro/internal/core"
 	"repro/internal/dataset"
 )
@@ -95,6 +97,14 @@ type Result struct {
 	OEFull    float64 // O-estimate at full compliance (step 6)
 	AlphaMax  float64 // largest α within tolerance (1 when earlier stages decide)
 	Tolerance float64 // τ echoed back
+
+	// Degraded marks that the work budget ran out mid-way through the α
+	// binary search. AlphaMax is then the largest α *proven* within
+	// tolerance so far — a conservative lower bound — and the verdict is
+	// taken against it, erring toward "withhold". DegradedReason records
+	// which budget was exhausted.
+	Degraded       bool
+	DegradedReason string
 }
 
 // FractionPointValued returns g/n, the worst-case crack fraction.
@@ -106,12 +116,22 @@ func (r *Result) FractionOEFull() float64 { return r.OEFull / float64(r.Items) }
 // AssessRisk executes Algorithm Assess-Risk (Figure 8) on the frequency
 // table of the database under assessment.
 func AssessRisk(ft *dataset.FrequencyTable, opts Options) (*Result, error) {
+	return AssessRiskCtx(context.Background(), ft, opts)
+}
+
+// AssessRiskCtx is AssessRisk under a work budget. The cheap early stages
+// (Lemma 3 worst case, one O-estimate) run to completion or error; the α
+// binary search — the only stage whose cost is a multiple of the domain
+// size — degrades gracefully: when the budget runs out mid-search the
+// result carries the largest α proven within tolerance so far, Degraded is
+// set, and the verdict is taken conservatively against that lower bound.
+func AssessRiskCtx(ctx context.Context, ft *dataset.FrequencyTable, opts Options) (*Result, error) {
 	opts, err := opts.withDefaults()
 	if err != nil {
 		return nil, err
 	}
 	n := ft.NItems
-	budget := opts.Tolerance * float64(n)
+	crackBudget := opts.Tolerance * float64(n)
 	gr := dataset.GroupItems(ft)
 	res := &Result{
 		Items:     n,
@@ -121,7 +141,7 @@ func AssessRisk(ft *dataset.FrequencyTable, opts Options) (*Result, error) {
 	}
 
 	// Steps 1-2: compliant point-valued worst case (Lemma 3).
-	if core.ExpectedCracksPointValued(gr) <= budget {
+	if core.ExpectedCracksPointValued(gr) <= crackBudget {
 		res.Disclose = true
 		res.Stage = StagePointValued
 		return res, nil
@@ -130,14 +150,14 @@ func AssessRisk(ft *dataset.FrequencyTable, opts Options) (*Result, error) {
 	// Steps 3-6: compliant interval belief function with width δ_med.
 	res.DeltaMed = gr.MedianGap()
 	bf := belief.UniformWidth(ft.Frequencies(), res.DeltaMed)
-	oe, err := core.OEstimate(bf, ft, core.OEOptions{Propagate: opts.Propagate})
+	oe, err := core.OEstimateCtx(ctx, bf, ft, core.OEOptions{Propagate: opts.Propagate})
 	if err != nil {
 		return nil, err
 	}
 	res.OEFull = oe.Value
 
 	// Step 7.
-	if res.OEFull <= budget {
+	if res.OEFull <= crackBudget {
 		res.Disclose = true
 		res.Stage = StageCompliantInterval
 		return res, nil
@@ -152,8 +172,11 @@ func AssessRisk(ft *dataset.FrequencyTable, opts Options) (*Result, error) {
 		return nil, err
 	}
 	res.Stage = StageAlphaSearch
-	res.AlphaMax, err = search.MaxAlphaWithin(budget, opts.AlphaPrecision)
-	if err != nil {
+	res.AlphaMax, err = search.MaxAlphaWithinCtx(ctx, crackBudget, opts.AlphaPrecision)
+	if budget.Degradable(err) {
+		res.Degraded = true
+		res.DegradedReason = err.Error()
+	} else if err != nil {
 		return nil, err
 	}
 	res.Disclose = res.AlphaMax >= opts.AlphaComfort
@@ -240,6 +263,12 @@ func newAlphaSearch(ft *dataset.FrequencyTable, bf *belief.Function, runs int, p
 // OEAt returns the mean O-estimate across runs at compliancy level α: in each
 // run only the first ⌈αn⌉ items of the run's order count as compliant.
 func (s *AlphaSearch) OEAt(alpha float64) (float64, error) {
+	return s.OEAtCtx(context.Background(), alpha)
+}
+
+// OEAtCtx is OEAt under a work budget: each of the runs' O-estimates checks
+// the context's deadline and operation limit.
+func (s *AlphaSearch) OEAtCtx(ctx context.Context, alpha float64) (float64, error) {
 	if alpha < 0 || alpha > 1 {
 		return 0, fmt.Errorf("recipe: alpha %v outside [0,1]", alpha)
 	}
@@ -251,7 +280,7 @@ func (s *AlphaSearch) OEAt(alpha float64) (float64, error) {
 		for _, x := range order[:k] {
 			mask[x] = true
 		}
-		oe, err := core.OEstimate(s.bf, s.ft, core.OEOptions{Mask: mask, Propagate: s.propagate})
+		oe, err := core.OEstimateCtx(ctx, s.bf, s.ft, core.OEOptions{Mask: mask, Propagate: s.propagate})
 		if err != nil {
 			return 0, err
 		}
@@ -263,25 +292,50 @@ func (s *AlphaSearch) OEAt(alpha float64) (float64, error) {
 // MaxAlphaWithin binary-searches the largest α whose averaged O-estimate is
 // within the given crack budget, to the given precision. The search is valid
 // because the nested compliant sets make OEAt monotone in α (Lemma 10).
-func (s *AlphaSearch) MaxAlphaWithin(budget, precision float64) (float64, error) {
-	hiVal, err := s.OEAt(1)
+func (s *AlphaSearch) MaxAlphaWithin(crackBudget, precision float64) (float64, error) {
+	return s.MaxAlphaWithinCtx(context.Background(), crackBudget, precision)
+}
+
+// MaxAlphaWithinCtx is MaxAlphaWithin under a work budget. The whole search
+// shares one operation budget (runs × n charged per α evaluation), so a
+// budget.WithMaxOps limit or a context deadline can stop it between
+// iterations. On exhaustion it returns the best PROVEN α so far — the lower
+// bound of the bracketing invariant, safe because OEAt is monotone in α —
+// together with the budget error, so callers can keep the conservative
+// partial answer while recording the degradation.
+func (s *AlphaSearch) MaxAlphaWithinCtx(ctx context.Context, crackBudget, precision float64) (float64, error) {
+	bud := budget.New(ctx, budget.Config{CheckEvery: 1})
+	evalCost := int64(len(s.orders)) * int64(s.ft.NItems)
+	if err := bud.Check(); err != nil {
+		return 0, err
+	}
+	hiVal, err := s.OEAtCtx(ctx, 1)
 	if err != nil {
 		return 0, err
 	}
-	if hiVal <= budget {
+	if hiVal <= crackBudget {
 		return 1, nil
 	}
-	lo, hi := 0.0, 1.0 // invariant: OEAt(lo) <= budget < OEAt(hi)
+	lo, hi := 0.0, 1.0 // invariant: OEAt(lo) <= crackBudget < OEAt(hi)
+	if err := bud.Charge(evalCost); err != nil {
+		return lo, fmt.Errorf("recipe: alpha search: %w", err)
+	}
 	for hi-lo > precision {
 		mid := (lo + hi) / 2
-		v, err := s.OEAt(mid)
+		v, err := s.OEAtCtx(ctx, mid)
 		if err != nil {
+			if budget.Degradable(err) {
+				return lo, fmt.Errorf("recipe: alpha search: %w", err)
+			}
 			return 0, err
 		}
-		if v <= budget {
+		if v <= crackBudget {
 			lo = mid
 		} else {
 			hi = mid
+		}
+		if err := bud.Charge(evalCost); err != nil {
+			return lo, fmt.Errorf("recipe: alpha search: %w", err)
 		}
 	}
 	return lo, nil

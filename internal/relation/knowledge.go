@@ -1,10 +1,12 @@
 package relation
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
 	"repro/internal/bipartite"
+	"repro/internal/budget"
 	"repro/internal/core"
 )
 
@@ -120,6 +122,15 @@ func BuildGraph(r *Relation, info PartialInfo) *bipartite.Explicit {
 // individuals. For graphs small enough (n ≤ bipartite.MaxExactN) exact can
 // be requested, which adds the permanent-based expectation.
 func AssessDisclosure(r *Relation, info PartialInfo, exact bool) (*DisclosureReport, error) {
+	return AssessDisclosureCtx(context.Background(), r, info, exact)
+}
+
+// AssessDisclosureCtx is AssessDisclosure under a work budget. The
+// O-estimate always completes; the optional permanent-based exact value is
+// the expensive part and degrades gracefully — when its budget runs out the
+// report is returned without it (HasExact false, Degraded set) instead of
+// failing, since the O-estimate already answers the question.
+func AssessDisclosureCtx(ctx context.Context, r *Relation, info PartialInfo, exact bool) (*DisclosureReport, error) {
 	g := BuildGraph(r, info)
 	rep := &DisclosureReport{Individuals: r.Records()}
 	oe, err := core.OEstimateExplicit(g, core.OEOptions{Propagate: true})
@@ -138,12 +149,17 @@ func AssessDisclosure(r *Relation, info PartialInfo, exact bool) (*DisclosureRep
 		}
 	}
 	if exact && !rep.Infeasible {
-		v, err := core.ExactExpectedCracks(g)
-		if err != nil {
+		v, err := core.ExactExpectedCracksCtx(ctx, g)
+		switch {
+		case err == nil:
+			rep.Exact = v
+			rep.HasExact = true
+		case budget.Degradable(err):
+			rep.Degraded = true
+			rep.DegradedReason = err.Error()
+		default:
 			return nil, err
 		}
-		rep.Exact = v
-		rep.HasExact = true
 	}
 	return rep, nil
 }
@@ -157,6 +173,10 @@ type DisclosureReport struct {
 	Exact       float64 // permanent-based expectation (when requested)
 	HasExact    bool
 	Infeasible  bool // knowledge admits no global assignment; per-item estimate
+	// Degraded marks that the exact tier was requested but its work budget
+	// ran out; the O-estimate above still answers.
+	Degraded       bool
+	DegradedReason string
 }
 
 // RandomRelation generates a population for tests and examples: each
