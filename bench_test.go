@@ -20,6 +20,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/experiments"
 	"repro/internal/matching"
+	"repro/internal/parallel"
 	"repro/internal/recipe"
 )
 
@@ -31,7 +32,7 @@ func benchExperiment(b *testing.B, id string) {
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		rep, err := exp.Run(experiments.Config{Seed: int64(i + 1), Quick: true})
+		rep, err := exp.Run(context.Background(), experiments.Config{Seed: int64(i + 1), Quick: true})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -212,6 +213,66 @@ func BenchmarkAttackCtxRETAIL(b *testing.B) {
 		if _, err := AttackCtx(ctx, bf, db, AttackOptions{}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkSamplerParallel times the R-run MCMC crack estimate on the CONNECT
+// clone at 1/2/4/8 workers. The estimate is bit-identical at every width (each
+// run owns a split-seeded generator and run means reduce in run order); the
+// speedup tops out at min(workers, Runs, GOMAXPROCS) — on a single-core host
+// all widths time alike.
+func BenchmarkSamplerParallel(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	ft, err := datagen.CONNECT.Counts(rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gr := dataset.GroupItems(ft)
+	bf := belief.UniformWidth(ft.Frequencies(), gr.MedianGap())
+	g, err := bipartite.Build(bf, gr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := matching.Config{SeedSweeps: 20, SampleGap: 2, SamplesPerSeed: 100, Samples: 200, Runs: 8}
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			ctx := parallel.WithWorkers(context.Background(), w)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := matching.EstimateCracksCtx(ctx, g, cfg, rand.New(rand.NewSource(7))); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCurveParallel times the Figure 11 compliancy curve (11 α-points ×
+// runs random subsets, each an independent O-estimate) on the CONNECT clone at
+// 1/2/4/8 workers.
+func BenchmarkCurveParallel(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	ft, err := datagen.CONNECT.Counts(rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gr := dataset.GroupItems(ft)
+	bf := belief.UniformWidth(ft.Frequencies(), gr.MedianGap())
+	alphas := []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			ctx := parallel.WithWorkers(context.Background(), w)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				search, err := recipe.NewAlphaSearch(ft, bf, 4, true, rand.New(rand.NewSource(7)))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := search.CurveCtx(ctx, alphas); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -3,13 +3,18 @@
 #
 #   ./ci.sh          vet + build + race-enabled tests
 #   ./ci.sh -short   same, with -short tests
+#   ./ci.sh -bench   additionally run the parallel-engine benchmarks and
+#                    emit BENCH_parallel.json (ns/op per worker count and
+#                    speedup vs serial) to track the perf trajectory
 #
 # Exits non-zero on the first failure.
 set -eu
 cd "$(dirname "$0")"
 
 short=""
+bench=""
 [ "${1:-}" = "-short" ] && short="-short"
+[ "${1:-}" = "-bench" ] && bench="yes"
 
 echo "== go vet =="
 go vet ./...
@@ -19,5 +24,41 @@ go build ./...
 
 echo "== go test -race =="
 go test -race $short ./...
+
+if [ -n "$bench" ]; then
+	echo "== parallel benchmarks =="
+	go test -run '^$' -bench 'BenchmarkSamplerParallel|BenchmarkCurveParallel' -benchtime 2x . |
+		tee BENCH_parallel.txt |
+		awk -v gmp="$(nproc 2>/dev/null || echo 1)" '
+		/^Benchmark(Sampler|Curve)Parallel\// {
+			split($1, parts, "/")
+			sub(/Benchmark/, "", parts[1]); sub(/-[0-9]+$/, "", parts[2])
+			sub(/workers=/, "", parts[2])
+			bench = parts[1]; workers = parts[2] + 0; ns = $3 + 0
+			nsop[bench "," workers] = ns
+			if (workers == 1) serial[bench] = ns
+			if (!(bench in seen)) { order[++n] = bench; seen[bench] = 1 }
+			ws[workers] = 1
+		}
+		END {
+			printf "{\n  \"gomaxprocs\": %d,\n  \"benchmarks\": {", gmp + 0
+			for (i = 1; i <= n; i++) {
+				b = order[i]
+				printf "%s\n    \"%s\": {", (i > 1 ? "," : ""), b
+				first = 1
+				for (w = 1; w <= 8; w *= 2) {
+					if (!((b "," w) in nsop)) continue
+					sp = serial[b] > 0 ? serial[b] / nsop[b "," w] : 0
+					printf "%s\n      \"workers=%d\": {\"ns_per_op\": %.0f, \"speedup_vs_serial\": %.3f}", \
+						(first ? "" : ","), w, nsop[b "," w], sp
+					first = 0
+				}
+				printf "\n    }"
+			}
+			printf "\n  }\n}\n"
+		}' >BENCH_parallel.json
+	rm -f BENCH_parallel.txt
+	echo "wrote BENCH_parallel.json"
+fi
 
 echo "ci: OK"

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	anonrisk [-tau 0.1] [-comfort 0.5] [-runs 5] [-seed 1] [-propagate]
-//	         [-timeout 30s] [-max-work n] [-attack beliefs.txt] [file]
+//	         [-timeout 30s] [-max-work n] [-workers n] [-attack beliefs.txt] [file]
 //
 // With no file argument the database is read from standard input. The exit
 // status is 0 for a "disclose" verdict, 3 for "withhold", 4 when the -timeout
@@ -22,6 +22,7 @@ import (
 	"io"
 	"math/rand"
 	"os"
+	"time"
 
 	"repro/internal/belief"
 	"repro/internal/bipartite"
@@ -39,9 +40,11 @@ func main() {
 	propagate := flag.Bool("propagate", true, "apply degree-1 propagation in the O-estimates")
 	attack := flag.String("attack", "", "evaluate a hacker belief function from this file instead of running the recipe")
 	budgetCtx := cliutil.BudgetFlags()
+	withWorkers := cliutil.WorkersFlag()
 	flag.Parse()
 	ctx, cancel := budgetCtx()
 	defer cancel()
+	ctx = withWorkers(ctx)
 
 	var in io.Reader = os.Stdin
 	name := "stdin"
@@ -91,6 +94,8 @@ func main() {
 	if res.Degraded {
 		fmt.Printf("note             budget ran out (%s); α_max is a proven lower bound\n", res.DegradedReason)
 	}
+	fmt.Printf("compute          %d workers, wall %v, cpu %v\n",
+		res.Workers, res.Wall.Round(time.Millisecond), res.CPU.Round(time.Millisecond))
 	fmt.Printf("decided by       %s\n", res.Stage)
 	if res.Disclose {
 		fmt.Println("verdict          DISCLOSE")

@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	experiments [-run id[,id...]] [-seed n] [-quick] [-timeout 5m] [-csv dir]
+//	experiments [-run id[,id...]] [-seed n] [-quick] [-timeout 5m] [-workers n] [-csv dir]
 //
 // With no -run flag every experiment executes in paper order. IDs: delta,
 // figure9, figure10, figure11, figure12, recipe, ablation, itemsets, kanon,
@@ -19,10 +19,12 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"repro/internal/budget"
 	"repro/internal/cliutil"
 	"repro/internal/experiments"
+	"repro/internal/parallel"
 )
 
 func main() {
@@ -30,10 +32,13 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	quick := flag.Bool("quick", false, "reduced simulation scale")
 	csvDir := flag.String("csv", "", "also write each table as CSV into this directory")
+	timing := flag.Bool("timing", false, "print wall/CPU time per experiment to stderr")
 	budgetCtx := cliutil.BudgetFlags()
+	withWorkers := cliutil.WorkersFlag()
 	flag.Parse()
 	ctx, cancel := budgetCtx()
 	defer cancel()
+	ctx = withWorkers(ctx)
 
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
@@ -59,15 +64,16 @@ func main() {
 		}
 	}
 	for _, e := range list {
-		var rep *experiments.Report
-		err := budget.Run(ctx, func() error {
-			var rerr error
-			rep, rerr = e.Run(cfg)
-			return rerr
-		})
+		startWall, startCPU := time.Now(), parallel.CPUTime()
+		rep, err := e.Run(ctx, cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
 			os.Exit(budget.ExitCode(err))
+		}
+		if *timing {
+			fmt.Fprintf(os.Stderr, "%s: workers=%d wall=%v cpu=%v\n",
+				e.ID, parallel.Workers(ctx), time.Since(startWall).Round(time.Millisecond),
+				(parallel.CPUTime() - startCPU).Round(time.Millisecond))
 		}
 		fmt.Println(rep)
 		if *csvDir != "" {

@@ -16,7 +16,7 @@
 //
 // Usage:
 //
-//	relrisk [-know facts.txt] [-k 5] [-timeout 30s] [-max-work n] data.csv
+//	relrisk [-know facts.txt] [-k 5] [-timeout 30s] [-max-work n] [-workers n] data.csv
 //
 // Exit status: 0 ok, 4 when the budget prevents even a degraded answer,
 // 1 otherwise.
@@ -41,9 +41,11 @@ func main() {
 	knowPath := flag.String("know", "", "partial-knowledge facts file")
 	k := flag.Int("k", 0, "also report a k-anonymized release (0 = off)")
 	budgetCtx := cliutil.BudgetFlags()
+	withWorkers := cliutil.WorkersFlag()
 	flag.Parse()
 	ctx, cancel := budgetCtx()
 	defer cancel()
+	ctx = withWorkers(ctx)
 	if flag.NArg() < 1 {
 		fatal(fmt.Errorf("usage: relrisk [-know facts] [-k n] data.csv"))
 	}

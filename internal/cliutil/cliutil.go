@@ -1,8 +1,8 @@
-// Package cliutil holds the budget plumbing shared by the cmd/ binaries:
-// the -timeout / -max-work flag pair, the context they induce, and the
-// exit-code convention (0 ok, 1 error, 4 budget exhaustion or cancellation;
-// individual commands may add their own domain statuses, like anonrisk's 3
-// for a withhold verdict).
+// Package cliutil holds the budget and parallelism plumbing shared by the
+// cmd/ binaries: the -timeout / -max-work flag pair, the -workers flag, the
+// context they induce, and the exit-code convention (0 ok, 1 error, 4 budget
+// exhaustion or cancellation; individual commands may add their own domain
+// statuses, like anonrisk's 3 for a withhold verdict).
 package cliutil
 
 import (
@@ -12,6 +12,7 @@ import (
 	"os"
 
 	"repro/internal/budget"
+	"repro/internal/parallel"
 )
 
 // BudgetFlags registers -timeout and -max-work on the default flag set and
@@ -31,6 +32,20 @@ func BudgetFlags() func() (context.Context, context.CancelFunc) {
 		}
 		ctx = budget.WithMaxOps(ctx, *maxWork)
 		return ctx, cancel
+	}
+}
+
+// WorkersFlag registers -workers on the default flag set and returns an
+// applier to call after flag.Parse. The applier stamps the chosen worker
+// count onto the context (parallel.WithWorkers), where every pooled fan-out
+// — MCMC chains, α-subset runs, curve points, experiment rows — picks it up.
+// The default 0 means GOMAXPROCS; results are bit-identical for a fixed seed
+// at any worker count.
+func WorkersFlag() func(context.Context) context.Context {
+	workers := flag.Int("workers", 0,
+		"parallel workers for risk sweeps (0 = GOMAXPROCS); any value yields identical output for a fixed seed")
+	return func(ctx context.Context) context.Context {
+		return parallel.WithWorkers(ctx, *workers)
 	}
 }
 

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -23,23 +24,22 @@ import (
 //     curves);
 //  4. the paper's blind-transposition sampler vs the targeted-swap sampler
 //     (same stationary distribution, different mixing).
-func RunAblation(cfg Config) (*Report, error) {
-	rng := rand.New(rand.NewSource(cfg.Seed))
+func RunAblation(ctx context.Context, cfg Config) (*Report, error) {
 	rep := &Report{ID: "ablation", Title: "Ablations of the reproduction's design choices"}
 
-	prop, err := ablationPropagationAndWidth(rng)
+	prop, err := ablationPropagationAndWidth(rowRNG(cfg.Seed, 0, 0))
 	if err != nil {
 		return nil, err
 	}
 	rep.Tables = append(rep.Tables, *prop)
 
-	bias, err := ablationBias(cfg, rng)
+	bias, err := ablationBias(ctx, cfg, rowRNG(cfg.Seed, 1, 0))
 	if err != nil {
 		return nil, err
 	}
 	rep.Tables = append(rep.Tables, *bias)
 
-	moves, err := ablationSamplerMoves(cfg, rng)
+	moves, err := ablationSamplerMoves(ctx, cfg, rowRNG(cfg.Seed, 2, 0))
 	if err != nil {
 		return nil, err
 	}
@@ -91,7 +91,7 @@ func ablationPropagationAndWidth(rng *rand.Rand) (*Table, error) {
 	return tb, nil
 }
 
-func ablationBias(cfg Config, rng *rand.Rand) (*Table, error) {
+func ablationBias(ctx context.Context, cfg Config, rng *rand.Rand) (*Table, error) {
 	tb := &Table{
 		Title:  "α_max at τ = 0.1: uniform vs contribution-biased wrong guesses",
 		Header: []string{"dataset", "α_max uniform", "α_max biased", "paper", "OE(α=0.5) uniform", "OE(α=0.5) biased"},
@@ -118,19 +118,19 @@ func ablationBias(cfg Config, rng *rand.Rand) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		uniMax, err := uni.MaxAlphaWithin(budget, 1.0/128)
+		uniMax, err := uni.MaxAlphaWithinCtx(ctx, budget, 1.0/128)
 		if err != nil {
 			return nil, err
 		}
-		biaMax, err := bia.MaxAlphaWithin(budget, 1.0/128)
+		biaMax, err := bia.MaxAlphaWithinCtx(ctx, budget, 1.0/128)
 		if err != nil {
 			return nil, err
 		}
-		uniMid, err := uni.OEAt(0.5)
+		uniMid, err := uni.OEAtCtx(ctx, 0.5)
 		if err != nil {
 			return nil, err
 		}
-		biaMid, err := bia.OEAt(0.5)
+		biaMid, err := bia.OEAtCtx(ctx, 0.5)
 		if err != nil {
 			return nil, err
 		}
@@ -142,7 +142,7 @@ func ablationBias(cfg Config, rng *rand.Rand) (*Table, error) {
 	return tb, nil
 }
 
-func ablationSamplerMoves(cfg Config, rng *rand.Rand) (*Table, error) {
+func ablationSamplerMoves(ctx context.Context, cfg Config, rng *rand.Rand) (*Table, error) {
 	tb := &Table{
 		Title:  "Sampler moves on CONNECT (full compliancy, width δ_med)",
 		Header: []string{"moves", "estimate", "stddev", "wall time"},
@@ -168,7 +168,7 @@ func ablationSamplerMoves(cfg Config, rng *rand.Rand) (*Table, error) {
 			mc.SampleGap *= 4
 		}
 		start := time.Now()
-		est, err := matching.EstimateCracks(g, mc, rng)
+		est, err := matching.EstimateCracksCtx(ctx, g, mc, rng)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -39,7 +40,7 @@ var correctedDeltaRows = []deltaRow{
 
 // RunDeltaTable reproduces the §5.2 table comparing the exact chain formula
 // (Lemma 6) with the chain O-estimate.
-func RunDeltaTable(cfg Config) (*Report, error) {
+func RunDeltaTable(_ context.Context, cfg Config) (*Report, error) {
 	rep := &Report{ID: "delta", Title: "§5.2 chain O-estimate error, n = (20, 30, 20)"}
 
 	paper := Table{

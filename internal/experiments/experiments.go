@@ -8,17 +8,32 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"math/rand"
 	"strings"
+
+	"repro/internal/parallel"
 )
 
 // Config controls experiment scale.
 type Config struct {
-	// Seed drives all randomness; a fixed seed makes runs reproducible.
+	// Seed drives all randomness; a fixed seed makes runs reproducible —
+	// byte-identical tables at any worker count, because each table row owns
+	// a generator split deterministically off this seed (see rowRNG).
 	Seed int64
 	// Quick shrinks simulation sample counts (for the repository benchmarks
 	// and smoke tests). Full runs follow the paper's setup shape.
 	Quick bool
+}
+
+// rowRNG returns the generator for row i of fan-out section sec of an
+// experiment seeded with seed. Sections number the independent fan-outs
+// inside one experiment (0 for the first table, 1 for the next, ...), so
+// concurrent rows never share a random stream and the numbers cannot depend
+// on row scheduling or the worker count.
+func rowRNG(seed int64, sec, i int) *rand.Rand {
+	return parallel.RNG(parallel.SplitSeed(seed, uint64(sec)), i)
 }
 
 // Report is the structured outcome of one experiment.
@@ -116,11 +131,15 @@ func (r *Report) String() string {
 	return b.String()
 }
 
-// Experiment couples an identifier with its runner.
+// Experiment couples an identifier with its runner. Run evaluates
+// independent table rows and figure points on the parallel worker pool of
+// ctx (parallel.Workers) with ordered result collection, and respects the
+// context's budget: deadline or -max-work exhaustion surfaces as a typed
+// budget error.
 type Experiment struct {
 	ID    string
 	Title string
-	Run   func(cfg Config) (*Report, error)
+	Run   func(ctx context.Context, cfg Config) (*Report, error)
 }
 
 // All lists the experiments in paper order.

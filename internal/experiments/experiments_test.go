@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"strconv"
 	"strings"
@@ -13,7 +14,7 @@ func quickRun(t *testing.T, id string) *Report {
 	if !ok {
 		t.Fatalf("experiment %s not registered", id)
 	}
-	rep, err := exp.Run(Config{Seed: 1, Quick: true})
+	rep, err := exp.Run(context.Background(), Config{Seed: 1, Quick: true})
 	if err != nil {
 		t.Fatalf("%s: %v", id, err)
 	}

@@ -1,9 +1,9 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
-	"math/rand"
 
 	"repro/internal/belief"
 	"repro/internal/bipartite"
@@ -11,6 +11,7 @@ import (
 	"repro/internal/datagen"
 	"repro/internal/dataset"
 	"repro/internal/matching"
+	"repro/internal/parallel"
 )
 
 // figure10Datasets are the four benchmarks the paper plots in Figure 10.
@@ -27,13 +28,14 @@ func simConfig(quick bool) matching.Config {
 // under full compliancy with interval width δ_med (Step 6 of the recipe), as
 // in the paper's Figure 10. The paper's accuracy claim — O-estimates within
 // one standard deviation of the simulation — is checked and reported.
-func RunFigure10(cfg Config) (*Report, error) {
-	rng := rand.New(rand.NewSource(cfg.Seed))
+func RunFigure10(ctx context.Context, cfg Config) (*Report, error) {
 	rep := &Report{ID: "figure10", Title: "O-estimates vs average simulated estimates (full compliancy, width δ_med)"}
 	tb := Table{
 		Header: []string{"dataset", "n", "δ_med", "O-estimate", "simulated", "stddev", "OE fraction", "sim fraction", "within 1σ"},
 	}
-	for _, name := range figure10Datasets {
+	rows, err := parallel.Map(ctx, 0, len(figure10Datasets), func(i int) ([]string, error) {
+		name := figure10Datasets[i]
+		rng := rowRNG(cfg.Seed, 0, i)
 		plan, ok := datagen.ByName(name)
 		if !ok {
 			return nil, fmt.Errorf("experiments: unknown benchmark %s", name)
@@ -46,7 +48,7 @@ func RunFigure10(cfg Config) (*Report, error) {
 		delta := gr.MedianGap()
 		bf := belief.UniformWidth(ft.Frequencies(), delta)
 
-		oe, err := core.OEstimate(bf, ft, core.OEOptions{Propagate: true})
+		oe, err := core.OEstimateCtx(ctx, bf, ft, core.OEOptions{Propagate: true})
 		if err != nil {
 			return nil, err
 		}
@@ -54,7 +56,7 @@ func RunFigure10(cfg Config) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		est, err := matching.EstimateCracks(g, simConfig(cfg.Quick), rng)
+		est, err := matching.EstimateCracksCtx(ctx, g, simConfig(cfg.Quick), rng)
 		if err != nil {
 			return nil, err
 		}
@@ -63,12 +65,16 @@ func RunFigure10(cfg Config) (*Report, error) {
 			within = "NO"
 		}
 		n := float64(ft.NItems)
-		tb.Rows = append(tb.Rows, []string{
+		return []string{
 			name, fmt.Sprint(ft.NItems), f6(delta),
 			f3(oe.Value), f3(est.Mean), f3(est.StdDev),
 			f4(oe.Value / n), f4(est.Mean / n), within,
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	tb.Rows = rows
 	rep.Tables = append(rep.Tables, tb)
 	rep.Notes = append(rep.Notes,
 		"'within 1σ' allows a 5% slack band when the across-run stddev is very small, as the paper's own accuracy criterion is one standard deviation")

@@ -1,14 +1,15 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"math/rand"
 
 	"repro/internal/belief"
 	"repro/internal/bipartite"
 	"repro/internal/datagen"
 	"repro/internal/dataset"
 	"repro/internal/matching"
+	"repro/internal/parallel"
 	"repro/internal/recipe"
 )
 
@@ -30,8 +31,7 @@ var paperAlphaMax = map[string]float64{
 // τ = 0.1 tolerance line. For CONNECT (small enough to simulate with
 // perturbed belief functions), simulated estimates are reported alongside, as
 // in the paper's figure.
-func RunFigure11(cfg Config) (*Report, error) {
-	rng := rand.New(rand.NewSource(cfg.Seed))
+func RunFigure11(ctx context.Context, cfg Config) (*Report, error) {
 	rep := &Report{ID: "figure11", Title: "O-estimate fraction vs degree of compliancy α (τ = 0.1)"}
 
 	curveTable := Table{Header: append([]string{"dataset"}, func() []string {
@@ -46,11 +46,16 @@ func RunFigure11(cfg Config) (*Report, error) {
 		Header: []string{"dataset", "α_max", "paper", "shape"},
 	}
 
-	for _, name := range figure10Datasets {
+	type f11Row struct {
+		curve, cross []string
+	}
+	rows, err := parallel.Map(ctx, 0, len(figure10Datasets), func(i int) (f11Row, error) {
+		name := figure10Datasets[i]
+		rng := rowRNG(cfg.Seed, 0, i)
 		plan, _ := datagen.ByName(name)
 		ft, err := plan.Counts(rng)
 		if err != nil {
-			return nil, err
+			return f11Row{}, err
 		}
 		gr := dataset.GroupItems(ft)
 		bf := belief.UniformWidth(ft.Frequencies(), gr.MedianGap())
@@ -60,33 +65,40 @@ func RunFigure11(cfg Config) (*Report, error) {
 		}
 		search, err := recipe.NewAlphaSearch(ft, bf, runs, true, rng)
 		if err != nil {
-			return nil, err
+			return f11Row{}, err
 		}
-		curve, err := search.Curve(figure11Alphas)
+		curve, err := search.CurveCtx(ctx, figure11Alphas)
 		if err != nil {
-			return nil, err
+			return f11Row{}, err
 		}
 		row := []string{name}
 		for _, v := range curve {
 			row = append(row, f4(v))
 		}
-		curveTable.Rows = append(curveTable.Rows, row)
 
 		budget := figure11Tau * float64(ft.NItems)
-		amax, err := search.MaxAlphaWithin(budget, 1.0/128)
+		amax, err := search.MaxAlphaWithinCtx(ctx, budget, 1.0/128)
 		if err != nil {
-			return nil, err
+			return f11Row{}, err
 		}
-		crossTable.Rows = append(crossTable.Rows, []string{
-			name, f3(amax), f2(paperAlphaMax[name]), curveShape(figure11Alphas, curve),
-		})
+		return f11Row{
+			curve: row,
+			cross: []string{name, f3(amax), f2(paperAlphaMax[name]), curveShape(figure11Alphas, curve)},
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rows {
+		curveTable.Rows = append(curveTable.Rows, r.curve)
+		crossTable.Rows = append(crossTable.Rows, r.cross)
 	}
 	rep.Tables = append(rep.Tables, curveTable, crossTable)
 
 	// Simulated cross-check with genuinely perturbed (misguided) belief
 	// functions on the smallest benchmark, as in the paper's overlaid
 	// simulation points.
-	sim, err := figure11Simulation(cfg, rng)
+	sim, err := figure11Simulation(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -120,10 +132,12 @@ func curveShape(alphas, curve []float64) string {
 }
 
 // figure11Simulation simulates α-compliant hackers on CONNECT by actually
-// misguiding a (1-α) fraction of intervals and sampling crack mappings.
-func figure11Simulation(cfg Config, rng *rand.Rand) (*Table, error) {
+// misguiding a (1-α) fraction of intervals and sampling crack mappings. The
+// α points are independent work items: each derives its own generator from
+// section 1 of the experiment seed and runs its own MCMC simulation.
+func figure11Simulation(ctx context.Context, cfg Config) (*Table, error) {
 	plan, _ := datagen.ByName("CONNECT")
-	ft, err := plan.Counts(rng)
+	ft, err := plan.Counts(rowRNG(cfg.Seed, 1, 0))
 	if err != nil {
 		return nil, err
 	}
@@ -135,7 +149,9 @@ func figure11Simulation(cfg Config, rng *rand.Rand) (*Table, error) {
 	}
 	alphas := []float64{0.25, 0.5, 0.75, 1.0}
 	scfg := simConfig(cfg.Quick)
-	for _, a := range alphas {
+	rows, err := parallel.Map(ctx, 0, len(alphas), func(i int) ([]string, error) {
+		a := alphas[i]
+		rng := rowRNG(cfg.Seed, 2, i)
 		pert, _, err := belief.AlphaCompliant(base, ft.Frequencies(), a, rng)
 		if err != nil {
 			return nil, err
@@ -145,15 +161,18 @@ func figure11Simulation(cfg Config, rng *rand.Rand) (*Table, error) {
 			return nil, err
 		}
 		if !g.Feasible() {
-			tb.Rows = append(tb.Rows, []string{f2(a), "infeasible", "-"})
-			continue
+			return []string{f2(a), "infeasible", "-"}, nil
 		}
-		est, err := matching.EstimateCracks(g, scfg, rng)
+		est, err := matching.EstimateCracksCtx(ctx, g, scfg, rng)
 		if err != nil {
 			return nil, err
 		}
 		n := float64(ft.NItems)
-		tb.Rows = append(tb.Rows, []string{f2(a), f4(est.Mean / n), f4(est.StdDev / n)})
+		return []string{f2(a), f4(est.Mean / n), f4(est.StdDev / n)}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	tb.Rows = rows
 	return tb, nil
 }

@@ -1,0 +1,79 @@
+package experiments
+
+// Golden-file rendering tests: a parallel result-ordering regression (rows
+// landing in schedule order instead of index order) shows up here as a
+// readable diff against testdata/. Regenerate with
+//
+//	go test ./internal/experiments -run TestGolden -update
+//
+// after verifying the new output by eye.
+
+import (
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files under testdata/")
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s drifted from golden file:\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+// TestGoldenTableRendering pins String() and CSV() on a handmade table with
+// the awkward cases: ragged widths, commas, quotes.
+func TestGoldenTableRendering(t *testing.T) {
+	tb := Table{
+		Title:  "demo table",
+		Header: []string{"dataset", "value", "note"},
+		Rows: [][]string{
+			{"CONNECT", "0.1234", "plain"},
+			{"A,B", `said "yes"`, "quoted, and long enough to stretch"},
+			{"x", "-1", ""},
+		},
+	}
+	checkGolden(t, "table.txt", tb.String())
+	checkGolden(t, "table.csv", tb.CSV())
+}
+
+// TestGoldenDelta pins the §5.2 chain table end to end — it is closed-form
+// (no RNG), so any drift is a real behavior change.
+func TestGoldenDelta(t *testing.T) {
+	rep, err := RunDeltaTable(context.Background(), Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "delta.txt", rep.String())
+	checkGolden(t, "delta-0.csv", rep.Tables[0].CSV())
+	checkGolden(t, "delta-1.csv", rep.Tables[1].CSV())
+}
+
+// TestGoldenFigure9 pins the parallel-generated benchmark statistics table:
+// six rows produced by six split-seeded generators, collected in row order.
+func TestGoldenFigure9(t *testing.T) {
+	rep, err := RunFigure9(context.Background(), Config{Seed: 1, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "figure9.txt", rep.String())
+	checkGolden(t, "figure9-0.csv", rep.Tables[0].CSV())
+}

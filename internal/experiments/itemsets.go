@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -15,7 +16,7 @@ import (
 // from exact 2-itemset (pairwise support) knowledge on top of exact item
 // frequencies, and how many frequent itemsets are uniquely identified as sets
 // by their observable signatures.
-func RunItemsets(cfg Config) (*Report, error) {
+func RunItemsets(_ context.Context, cfg Config) (*Report, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	rep := &Report{ID: "itemsets", Title: "§8.2 extension: itemset-level identity disclosure"}
 	tb := Table{

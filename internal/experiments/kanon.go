@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -16,7 +17,7 @@ import (
 // (k = smallest anonymity set, often 1); k-anonymization coarsens values
 // until every record hides among at least k, cutting expected
 // re-identifications at a measurable precision cost.
-func RunKanon(cfg Config) (*Report, error) {
+func RunKanon(_ context.Context, cfg Config) (*Report, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	rep := &Report{ID: "kanon", Title: "Baseline: k-anonymization vs plain anonymization (relational release)"}
 

@@ -1,10 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"math/rand"
 
 	"repro/internal/datagen"
+	"repro/internal/parallel"
 	"repro/internal/recipe"
 )
 
@@ -12,19 +13,20 @@ import (
 // benchmarks at the paper's τ = 0.1, reproducing the §7.3 narrative: RETAIL
 // is a clear disclose, PUMSB and ACCIDENTS disclose with a comfortable α_max,
 // CONNECT's owner "may want to think twice".
-func RunRecipe(cfg Config) (*Report, error) {
-	rng := rand.New(rand.NewSource(cfg.Seed))
+func RunRecipe(ctx context.Context, cfg Config) (*Report, error) {
 	rep := &Report{ID: "recipe", Title: "Assess-Risk at τ = 0.1 (comfort level 0.5)"}
 	tb := Table{
 		Header: []string{"dataset", "stage", "g", "g/n", "δ_med", "OE full", "OE/n", "α_max", "verdict"},
 	}
-	for _, name := range figure10Datasets {
+	rows, err := parallel.Map(ctx, 0, len(figure10Datasets), func(i int) ([]string, error) {
+		name := figure10Datasets[i]
+		rng := rowRNG(cfg.Seed, 0, i)
 		plan, _ := datagen.ByName(name)
 		ft, err := plan.Counts(rng)
 		if err != nil {
 			return nil, err
 		}
-		res, err := recipe.AssessRisk(ft, recipe.Options{
+		res, err := recipe.AssessRiskCtx(ctx, ft, recipe.Options{
 			Tolerance: 0.1,
 			Propagate: true,
 			Rng:       rng,
@@ -36,13 +38,17 @@ func RunRecipe(cfg Config) (*Report, error) {
 		if res.Disclose {
 			verdict = "disclose"
 		}
-		tb.Rows = append(tb.Rows, []string{
+		return []string{
 			name, fmt.Sprint(int(res.Stage)),
 			fmt.Sprint(res.Groups), f4(res.FractionPointValued()),
 			f6(res.DeltaMed), f3(res.OEFull), f4(res.FractionOEFull()),
 			f3(res.AlphaMax), verdict,
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	tb.Rows = rows
 	rep.Tables = append(rep.Tables, tb)
 	rep.Notes = append(rep.Notes,
 		"stage 1 = point-valued worst case within tolerance, 2 = δ_med interval O-estimate within tolerance, 3 = α binary search",

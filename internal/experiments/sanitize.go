@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -25,7 +26,7 @@ import (
 // supports and the recall of the true top-20 items; risk as the compliancy
 // of a δ_med ball-park belief function against the released frequencies and
 // the O-estimate it yields.
-func RunSanitize(cfg Config) (*Report, error) {
+func RunSanitize(_ context.Context, cfg Config) (*Report, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	rep := &Report{ID: "sanitize", Title: "Sanitization trade-off: anonymization vs randomization"}
 

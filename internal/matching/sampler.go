@@ -10,11 +10,11 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
-	"sync"
 
 	"repro/internal/bipartite"
 	"repro/internal/budget"
 	"repro/internal/dataset"
+	"repro/internal/parallel"
 )
 
 // Config tunes the Markov-chain sampler. The paper's procedure starts from
@@ -246,43 +246,40 @@ func (e *Estimate) Fraction(n int) float64 { return e.Mean / float64(n) }
 // EstimateCracks runs the full simulation of Section 7.1: cfg.Runs
 // independent runs, each drawing cfg.Samples crack counts from the matching
 // space, and returns the across-run mean and standard deviation. Runs
-// execute in parallel; results are deterministic for a given rng because
-// every run's seed is drawn from it up front.
+// execute on the parallel worker pool; results are bit-identical for a given
+// rng regardless of the worker count, because each run's generator is split
+// off a single root seed (parallel.SplitSeed) and run means are reduced in
+// run order.
 func EstimateCracks(g *bipartite.Graph, cfg Config, rng *rand.Rand) (*Estimate, error) {
 	return EstimateCracksCtx(context.Background(), g, cfg, rng)
 }
 
 // EstimateCracksCtx is EstimateCracks under a work budget: every run charges
 // one operation per move proposal, so a deadline or operation limit aborts
-// the chain between sweeps instead of hanging. Each parallel run derives its
-// own budget from the shared context (a Budget is single-goroutine), so an
-// operation limit bounds each run rather than their sum. The first budget
-// error encountered is returned; no partial estimate is produced.
+// the chains between sweeps instead of hanging. The runs execute on at most
+// parallel.Workers(ctx) goroutines and charge ONE shared budget atomically
+// (budget.Shared), so an operation limit bounds the whole simulation — the
+// same work the serial execution would have done — not each run separately.
+// The first budget error (by run index) is returned verbatim, so it stays
+// degradable for the caller's cascade; no partial estimate is produced.
 func EstimateCracksCtx(ctx context.Context, g *bipartite.Graph, cfg Config, rng *rand.Rand) (*Estimate, error) {
 	cfg = cfg.withDefaults()
 	est := &Estimate{
 		Samples:  cfg.Samples,
 		RunMeans: make([]float64, cfg.Runs),
 	}
-	seeds := make([]int64, cfg.Runs)
-	for i := range seeds {
-		seeds[i] = rng.Int63()
-	}
-	errs := make([]error, cfg.Runs)
-	var wg sync.WaitGroup
-	for run := 0; run < cfg.Runs; run++ {
-		wg.Add(1)
-		go func(run int) {
-			defer wg.Done()
-			bud := budget.New(ctx, budget.Config{})
-			est.RunMeans[run], errs[run] = simulateRun(g, cfg, rand.New(rand.NewSource(seeds[run])), bud)
-		}(run)
-	}
-	wg.Wait()
-	for _, err := range errs {
+	root := rng.Int63()
+	shared := budget.NewShared(ctx, budget.Config{})
+	err := parallel.ForEach(ctx, 0, cfg.Runs, func(run int) error {
+		mean, err := simulateRun(g, cfg, parallel.RNG(root, run), shared.Worker())
 		if err != nil {
-			return nil, err
+			return fmt.Errorf("matching: run %d: %w", run, err)
 		}
+		est.RunMeans[run] = mean
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	est.Mean = dataset.Mean(est.RunMeans)
 	est.StdDev = dataset.StdDev(est.RunMeans)
@@ -291,7 +288,7 @@ func EstimateCracksCtx(ctx context.Context, g *bipartite.Graph, cfg Config, rng 
 
 // simulateRun executes one independent simulation run, charging the budget
 // one operation per proposal (n per sweep).
-func simulateRun(g *bipartite.Graph, cfg Config, rng *rand.Rand, bud *budget.Budget) (float64, error) {
+func simulateRun(g *bipartite.Graph, cfg Config, rng *rand.Rand, bud budget.Charger) (float64, error) {
 	if err := bud.Check(); err != nil {
 		return 0, err
 	}

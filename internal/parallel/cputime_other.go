@@ -1,0 +1,8 @@
+//go:build !unix
+
+package parallel
+
+import "time"
+
+// CPUTime is unavailable on this platform; callers treat 0 as "not measured".
+func CPUTime() time.Duration { return 0 }

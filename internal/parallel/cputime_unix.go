@@ -1,0 +1,22 @@
+//go:build unix
+
+package parallel
+
+import (
+	"syscall"
+	"time"
+)
+
+// CPUTime returns the process's cumulative user+system CPU time. Provenance
+// for parallel sweeps: wall time shrinks with workers while CPU time stays
+// roughly constant, so the pair exposes both speedup and overhead.
+func CPUTime() time.Duration {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	tv := func(t syscall.Timeval) time.Duration {
+		return time.Duration(t.Sec)*time.Second + time.Duration(t.Usec)*time.Microsecond
+	}
+	return tv(ru.Utime) + tv(ru.Stime)
+}

@@ -1,0 +1,183 @@
+// Package parallel is the repo's bounded fan-out engine. The paper's risk
+// estimates are Monte-Carlo aggregates over many independent trials — MCMC
+// chains (Section 7.1), α-compliant subset runs (Section 6.2), points of an
+// OE-vs-α curve (Figure 11), experiment table rows — and every one of those
+// fan-outs is embarrassingly parallel. This package gives them a shared
+// worker-pool idiom with two hard guarantees:
+//
+//   - Determinism: results are bit-identical for a fixed seed regardless of
+//     the worker count. Work item i derives its randomness from the root seed
+//     by SplitMix-style splitting (SplitSeed), writes its result into slot i,
+//     and the caller reduces the slots in index order — so neither goroutine
+//     scheduling nor GOMAXPROCS can leak into the numbers.
+//   - Bounded concurrency: at most Workers(ctx) goroutines run at once
+//     (GOMAXPROCS by default, -workers on the CLI). Work items queue behind
+//     an atomic cursor rather than spawning a goroutine each.
+//
+// Budget composition: ForEach/Map return the failing item's error verbatim
+// (lowest index wins, deterministically), so a budget.ErrBudgetExceeded from
+// any worker still reads as "degrade" to the existing cascade rather than
+// turning into a hard abort. Workers charging one shared limit use
+// budget.Shared, whose counter is atomic across goroutines.
+package parallel
+
+import (
+	"context"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+type workersKey struct{}
+
+// WithWorkers returns a context carrying the worker count for every pool
+// started under it. The CLI binaries use it to wire a -workers flag through
+// call chains without widening signatures (the same idiom as
+// budget.WithMaxOps). Non-positive n means "use the default".
+func WithWorkers(ctx context.Context, n int) context.Context {
+	if n <= 0 {
+		return ctx
+	}
+	return context.WithValue(ctx, workersKey{}, n)
+}
+
+// Workers returns the worker count carried by the context, defaulting to
+// GOMAXPROCS. The result is always at least 1.
+func Workers(ctx context.Context) int {
+	if v, ok := ctx.Value(workersKey{}).(int); ok && v > 0 {
+		return v
+	}
+	if n := runtime.GOMAXPROCS(0); n > 0 {
+		return n
+	}
+	return 1
+}
+
+// SplitSeed derives the i-th child seed from a root seed with the SplitMix64
+// finalizer. Consecutive indices land in statistically independent streams
+// (the weak point of seeding math/rand sources with small consecutive
+// integers), and the derivation is a pure function of (root, i) — the
+// foundation of the package's determinism guarantee: a work item's randomness
+// depends only on its index, never on which worker ran it or what ran before.
+func SplitSeed(root int64, i uint64) int64 {
+	z := uint64(root) + (i+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}
+
+// Seeds returns the first n child seeds of root.
+func Seeds(root int64, n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = SplitSeed(root, uint64(i))
+	}
+	return out
+}
+
+// RNG returns a fresh math/rand generator for work item i of a fan-out rooted
+// at the given seed.
+func RNG(root int64, i int) *rand.Rand {
+	return rand.New(rand.NewSource(SplitSeed(root, uint64(i))))
+}
+
+// ForEach runs f(0..n-1) on at most workers goroutines (non-positive workers
+// means Workers(ctx)) and blocks until every started item finishes.
+//
+// Error semantics: once any item fails, unstarted items are skipped and
+// ForEach returns the error of the lowest-indexed failed item — a
+// deterministic choice, so callers comparing runs at different worker counts
+// see the same error. The error is returned verbatim: a degradable budget
+// error stays degradable. A canceled context fails items at their next
+// budget check inside f; ForEach itself does not poll ctx between items
+// beyond handing it to f.
+//
+// Determinism contract for callers: f(i) must depend only on i and read-only
+// shared state, and must publish its result to a slot owned by i. ForEach
+// guarantees a happens-before edge between every f call and its return.
+func ForEach(ctx context.Context, workers, n int, f func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = Workers(ctx)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		// Fast path: no goroutines, no atomics — and the reference execution
+		// order the determinism tests compare against.
+		for i := 0; i < n; i++ {
+			if err := f(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		cursor atomic.Int64
+		failed atomic.Int64 // lowest failed index + 1; 0 = none
+		mu     sync.Mutex
+		errs   = map[int]error{}
+		wg     sync.WaitGroup
+	)
+	failed.Store(0)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				// Skip items that can no longer affect the outcome: a
+				// lower-indexed failure already decides the return value.
+				if lowest := failed.Load(); lowest != 0 && int64(i) >= lowest-1 {
+					continue
+				}
+				if err := f(i); err != nil {
+					mu.Lock()
+					errs[i] = err
+					mu.Unlock()
+					for {
+						lowest := failed.Load()
+						if lowest != 0 && lowest-1 <= int64(i) {
+							break
+						}
+						if failed.CompareAndSwap(lowest, int64(i)+1) {
+							break
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if lowest := failed.Load(); lowest != 0 {
+		return errs[int(lowest-1)]
+	}
+	return nil
+}
+
+// Map is ForEach with ordered result collection: out[i] = f(i), with slots of
+// skipped items (after a lower-indexed failure) left at their zero value. On
+// error the partial slice is discarded and only the error returned.
+func Map[T any](ctx context.Context, workers, n int, f func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(ctx, workers, n, func(i int) error {
+		v, err := f(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,225 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/budget"
+)
+
+func TestWorkersDefaultAndOverride(t *testing.T) {
+	ctx := context.Background()
+	if got, want := Workers(ctx), runtime.GOMAXPROCS(0); got != want {
+		t.Errorf("default Workers = %d, want GOMAXPROCS = %d", got, want)
+	}
+	if got := Workers(WithWorkers(ctx, 3)); got != 3 {
+		t.Errorf("Workers = %d, want 3", got)
+	}
+	// Non-positive overrides keep the default.
+	if got, want := Workers(WithWorkers(ctx, 0)), Workers(ctx); got != want {
+		t.Errorf("Workers with n=0 = %d, want default %d", got, want)
+	}
+	if got, want := Workers(WithWorkers(ctx, -2)), Workers(ctx); got != want {
+		t.Errorf("Workers with n=-2 = %d, want default %d", got, want)
+	}
+}
+
+func TestSplitSeedIsPureAndSpreads(t *testing.T) {
+	if SplitSeed(1, 0) != SplitSeed(1, 0) {
+		t.Fatal("SplitSeed not deterministic")
+	}
+	seen := map[int64]bool{}
+	for root := int64(0); root < 4; root++ {
+		for i := uint64(0); i < 256; i++ {
+			s := SplitSeed(root, i)
+			if seen[s] {
+				t.Fatalf("seed collision at root=%d i=%d", root, i)
+			}
+			seen[s] = true
+		}
+	}
+	// Consecutive indices must not produce near-identical generators.
+	a, b := RNG(7, 0), RNG(7, 1)
+	same := 0
+	for k := 0; k < 64; k++ {
+		if a.Intn(1000) == b.Intn(1000) {
+			same++
+		}
+	}
+	if same > 16 {
+		t.Errorf("streams 0 and 1 agree on %d/64 draws; splitting is broken", same)
+	}
+}
+
+func TestSeeds(t *testing.T) {
+	s := Seeds(42, 5)
+	if len(s) != 5 {
+		t.Fatalf("Seeds returned %d values", len(s))
+	}
+	for i, v := range s {
+		if v != SplitSeed(42, uint64(i)) {
+			t.Errorf("Seeds[%d] = %d, want SplitSeed", i, v)
+		}
+	}
+}
+
+func TestForEachRunsEveryItem(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		var hits [100]atomic.Int64
+		err := ForEach(context.Background(), workers, len(hits), func(i int) error {
+			hits[i].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range hits {
+			if hits[i].Load() != 1 {
+				t.Fatalf("workers=%d: item %d ran %d times", workers, i, hits[i].Load())
+			}
+		}
+	}
+}
+
+func TestForEachZeroItems(t *testing.T) {
+	if err := ForEach(context.Background(), 4, 0, func(int) error {
+		t.Error("f called for n=0")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachLowestErrorWins(t *testing.T) {
+	bad := map[int]error{3: errors.New("three"), 7: errors.New("seven")}
+	for _, workers := range []int{1, 2, 8} {
+		err := ForEach(context.Background(), workers, 10, func(i int) error {
+			return bad[i]
+		})
+		if err == nil || err.Error() != "three" {
+			t.Errorf("workers=%d: err = %v, want the lowest-indexed failure", workers, err)
+		}
+	}
+}
+
+func TestForEachErrorVerbatim(t *testing.T) {
+	// The degradation cascade relies on errors.Is surviving the pool.
+	err := ForEach(context.Background(), 4, 8, func(i int) error {
+		if i == 2 {
+			return fmt.Errorf("wrapped: %w", budget.ErrBudgetExceeded)
+		}
+		return nil
+	})
+	if !errors.Is(err, budget.ErrBudgetExceeded) {
+		t.Errorf("budget error lost its identity through the pool: %v", err)
+	}
+	if !budget.Degradable(err) {
+		t.Errorf("pool error %v is not degradable", err)
+	}
+}
+
+func TestMapOrderedResults(t *testing.T) {
+	for _, workers := range []int{1, 3, 8} {
+		out, err := Map(context.Background(), workers, 50, func(i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapErrorDiscardsResults(t *testing.T) {
+	out, err := Map(context.Background(), 4, 10, func(i int) (int, error) {
+		if i == 5 {
+			return 0, errors.New("boom")
+		}
+		return i, nil
+	})
+	if err == nil || out != nil {
+		t.Errorf("Map on error = (%v, %v), want (nil, error)", out, err)
+	}
+}
+
+func TestForEachSharedBudgetDegrades(t *testing.T) {
+	// A tight shared budget must stop the fan-out with a degradable error at
+	// every worker count, charging atomically across goroutines.
+	for _, workers := range []int{1, 4} {
+		ctx := budget.WithMaxOps(context.Background(), 500)
+		shared := budget.NewShared(ctx, budget.Config{CheckEvery: 1})
+		var done atomic.Int64
+		err := ForEach(ctx, workers, 32, func(i int) error {
+			w := shared.Worker()
+			for k := 0; k < 100; k++ {
+				if err := w.Charge(1); err != nil {
+					return err
+				}
+			}
+			done.Add(1)
+			return nil
+		})
+		if !errors.Is(err, budget.ErrBudgetExceeded) {
+			t.Fatalf("workers=%d: err = %v, want ErrBudgetExceeded", workers, err)
+		}
+		if !budget.Degradable(err) {
+			t.Fatalf("workers=%d: budget error not degradable", workers)
+		}
+		if done.Load() >= 32 {
+			t.Fatalf("workers=%d: all items completed under an exhausted budget", workers)
+		}
+	}
+}
+
+func TestForEachCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	shared := budget.NewShared(ctx, budget.Config{CheckEvery: 1})
+	err := ForEach(ctx, 4, 8, func(i int) error {
+		return shared.Worker().Charge(1)
+	})
+	if !errors.Is(err, budget.ErrCanceled) {
+		t.Errorf("err = %v, want ErrCanceled", err)
+	}
+	if budget.Degradable(err) {
+		t.Error("cancellation must abort, not degrade")
+	}
+}
+
+// TestForEachDeterministicReduction is the engine-level determinism contract:
+// split-seeded work reduced in index order gives bit-identical sums at every
+// worker count.
+func TestForEachDeterministicReduction(t *testing.T) {
+	sum := func(workers int) float64 {
+		out, err := Map(context.Background(), workers, 64, func(i int) (float64, error) {
+			rng := RNG(99, i)
+			v := 0.0
+			for k := 0; k < 1000; k++ {
+				v += rng.Float64()
+			}
+			return v, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0.0
+		for _, v := range out {
+			total += v
+		}
+		return total
+	}
+	ref := sum(1)
+	for _, workers := range []int{2, 4, runtime.GOMAXPROCS(0)} {
+		if got := sum(workers); got != ref {
+			t.Errorf("workers=%d: sum %v differs from serial %v", workers, got, ref)
+		}
+	}
+}

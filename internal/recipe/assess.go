@@ -10,11 +10,13 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"time"
 
 	"repro/internal/belief"
 	"repro/internal/budget"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/parallel"
 )
 
 // Options configures Assess-Risk.
@@ -105,6 +107,15 @@ type Result struct {
 	// which budget was exhausted.
 	Degraded       bool
 	DegradedReason string
+
+	// Provenance of the parallel engine: how many workers the sweep was
+	// allowed (parallel.Workers of the assessment context), and the wall and
+	// cumulative process CPU time the assessment took. Wall shrinks with
+	// workers on multi-core hardware while CPU stays roughly flat; CPU is 0
+	// on platforms without rusage.
+	Workers int
+	Wall    time.Duration
+	CPU     time.Duration
 }
 
 // FractionPointValued returns g/n, the worst-case crack fraction.
@@ -138,7 +149,15 @@ func AssessRiskCtx(ctx context.Context, ft *dataset.FrequencyTable, opts Options
 		Groups:    gr.NumGroups(),
 		Tolerance: opts.Tolerance,
 		AlphaMax:  1,
+		Workers:   parallel.Workers(ctx),
 	}
+	startWall, startCPU := time.Now(), parallel.CPUTime()
+	defer func() {
+		res.Wall = time.Since(startWall)
+		if startCPU > 0 {
+			res.CPU = parallel.CPUTime() - startCPU
+		}
+	}()
 
 	// Steps 1-2: compliant point-valued worst case (Lemma 3).
 	if core.ExpectedCracksPointValued(gr) <= crackBudget {
@@ -267,26 +286,41 @@ func (s *AlphaSearch) OEAt(alpha float64) (float64, error) {
 }
 
 // OEAtCtx is OEAt under a work budget: each of the runs' O-estimates checks
-// the context's deadline and operation limit.
+// the context's deadline and operation limit. The runs evaluate on the
+// parallel worker pool; the per-run values are reduced in run order, so the
+// mean is bit-identical at any worker count.
 func (s *AlphaSearch) OEAtCtx(ctx context.Context, alpha float64) (float64, error) {
 	if alpha < 0 || alpha > 1 {
 		return 0, fmt.Errorf("recipe: alpha %v outside [0,1]", alpha)
 	}
-	n := s.ft.NItems
-	k := int(alpha*float64(n) + 0.5)
+	vals, err := parallel.Map(ctx, 0, len(s.orders), func(r int) (float64, error) {
+		return s.oeOne(ctx, alpha, s.orders[r])
+	})
+	if err != nil {
+		return 0, err
+	}
 	total := 0.0
-	for _, order := range s.orders {
-		mask := make([]bool, n)
-		for _, x := range order[:k] {
-			mask[x] = true
-		}
-		oe, err := core.OEstimateCtx(ctx, s.bf, s.ft, core.OEOptions{Mask: mask, Propagate: s.propagate})
-		if err != nil {
-			return 0, err
-		}
-		total += oe.Value
+	for _, v := range vals {
+		total += v
 	}
 	return total / float64(len(s.orders)), nil
+}
+
+// oeOne evaluates the O-estimate of a single run's compliant subset at level
+// alpha. It is the independent work item of the package's parallel sweeps:
+// pure in (alpha, order) given the search's read-only tables.
+func (s *AlphaSearch) oeOne(ctx context.Context, alpha float64, order []int) (float64, error) {
+	n := s.ft.NItems
+	k := int(alpha*float64(n) + 0.5)
+	mask := make([]bool, n)
+	for _, x := range order[:k] {
+		mask[x] = true
+	}
+	oe, err := core.OEstimateCtx(ctx, s.bf, s.ft, core.OEOptions{Mask: mask, Propagate: s.propagate})
+	if err != nil {
+		return 0, err
+	}
+	return oe.Value, nil
 }
 
 // MaxAlphaWithin binary-searches the largest α whose averaged O-estimate is
@@ -344,14 +378,36 @@ func (s *AlphaSearch) MaxAlphaWithinCtx(ctx context.Context, crackBudget, precis
 // Curve evaluates OEAt on each α in alphas, returning O-estimates as
 // fractions of the domain — one series of Figure 11.
 func (s *AlphaSearch) Curve(alphas []float64) ([]float64, error) {
+	return s.CurveCtx(context.Background(), alphas)
+}
+
+// CurveCtx is Curve under a work budget, evaluated on the parallel worker
+// pool. The fan-out is the flattened α × run grid — every (point, subset)
+// O-estimate is an independent work item — so the pool stays saturated even
+// when the curve has more workers than α points. Per-point means reduce in
+// run order and the output in α order, keeping the curve bit-identical at
+// any worker count.
+func (s *AlphaSearch) CurveCtx(ctx context.Context, alphas []float64) ([]float64, error) {
+	for _, a := range alphas {
+		if a < 0 || a > 1 {
+			return nil, fmt.Errorf("recipe: alpha %v outside [0,1]", a)
+		}
+	}
+	runs := len(s.orders)
+	vals, err := parallel.Map(ctx, 0, len(alphas)*runs, func(k int) (float64, error) {
+		return s.oeOne(ctx, alphas[k/runs], s.orders[k%runs])
+	})
+	if err != nil {
+		return nil, err
+	}
 	out := make([]float64, len(alphas))
 	n := float64(s.ft.NItems)
-	for i, a := range alphas {
-		v, err := s.OEAt(a)
-		if err != nil {
-			return nil, err
+	for i := range alphas {
+		total := 0.0
+		for r := 0; r < runs; r++ {
+			total += vals[i*runs+r]
 		}
-		out[i] = v / n
+		out[i] = total / float64(runs) / n
 	}
 	return out, nil
 }
