@@ -248,13 +248,20 @@ type AttackOptions struct {
 //
 // The report's Method records the tier that produced Expected; Degraded and
 // DegradedReason record whether (and why) a preferred tier was abandoned.
-func AttackCtx(ctx context.Context, bf *BeliefFunction, db *Database, opts AttackOptions) (rep AttackReport, err error) {
+func AttackCtx(ctx context.Context, bf *BeliefFunction, db *Database, opts AttackOptions) (AttackReport, error) {
+	return AttackTableCtx(ctx, bf, db.Table(), opts)
+}
+
+// AttackTableCtx is AttackCtx against a frequency table directly. Every tier
+// of the cascade depends on the data only through its support counts, so
+// callers that never materialize transactions — the riskd service, streaming
+// CLI paths — run the identical cascade on the lighter representation.
+func AttackTableCtx(ctx context.Context, bf *BeliefFunction, ft *FrequencyTable, opts AttackOptions) (rep AttackReport, err error) {
 	defer recoverToError("Attack", &err)
 	if cerr := ctx.Err(); cerr != nil && !errors.Is(cerr, context.DeadlineExceeded) {
 		return rep, budget.WrapContextErr(cerr)
 	}
 
-	ft := db.Table()
 	rep = AttackReport{Items: ft.NItems, Method: MethodOEstimate}
 
 	// Floor first: the O-estimate must be available whatever happens to the
@@ -408,6 +415,20 @@ func ExpectedCracksIgnorant(n int) float64 { return core.ExpectedCracksIgnorant(
 func ExpectedCracksExactKnowledge(db *Database) float64 {
 	return core.ExpectedCracksPointValued(dataset.GroupItems(db.Table()))
 }
+
+// DigestTable returns the stable content address of a frequency table — the
+// dataset half of an assessment cache key (internal/riskcache). Two tables
+// digest equal exactly when every analysis in this package scores them
+// identically.
+func DigestTable(ft *FrequencyTable) string { return ft.Digest() }
+
+// DigestDatabase is DigestTable on the database's support-count view.
+func DigestDatabase(db *Database) string { return db.Table().Digest() }
+
+// DigestBelief returns the stable content address of a canonicalized belief
+// function — the belief half of an assessment cache key. Textually different
+// specs that parse to the same prior digest equal.
+func DigestBelief(bf *BeliefFunction) string { return bf.Digest() }
 
 // MineFrequentItemsets mines all itemsets with at least the given fractional
 // support, using FP-Growth.

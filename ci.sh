@@ -6,15 +6,30 @@
 #   ./ci.sh -bench   additionally run the parallel-engine benchmarks and
 #                    emit BENCH_parallel.json (ns/op per worker count and
 #                    speedup vs serial) to track the perf trajectory
+#   ./ci.sh -serve   additionally run the riskd serving smoke test
+#                    (ephemeral port, health probe, assess round-trip,
+#                    cached repeat, clean shutdown)
 #
+# Flags combine in any order: ./ci.sh -short -bench -serve.
 # Exits non-zero on the first failure.
 set -eu
 cd "$(dirname "$0")"
 
 short=""
 bench=""
-[ "${1:-}" = "-short" ] && short="-short"
-[ "${1:-}" = "-bench" ] && bench="yes"
+serve=""
+for arg in "$@"; do
+	case "$arg" in
+	-short) short="-short" ;;
+	-bench) bench="yes" ;;
+	-serve) serve="yes" ;;
+	*)
+		echo "ci.sh: unknown flag: $arg" >&2
+		echo "usage: ./ci.sh [-short] [-bench] [-serve]" >&2
+		exit 2
+		;;
+	esac
+done
 
 echo "== go vet =="
 go vet ./...
@@ -27,12 +42,24 @@ go test -race $short ./...
 
 if [ -n "$bench" ]; then
 	echo "== parallel benchmarks =="
-	go test -run '^$' -bench 'BenchmarkSamplerParallel|BenchmarkCurveParallel' -benchtime 2x . |
+	# Pin GOMAXPROCS explicitly so the run is reproducible; override with
+	# e.g. `GOMAXPROCS=8 ./ci.sh -bench` on a bigger box. The JSON records
+	# the value the benchmark process actually used — the testing package
+	# appends runtime.GOMAXPROCS(0) as the "-N" suffix of every benchmark
+	# name, and the awk below reads it from there rather than trusting the
+	# environment or nproc.
+	GOMAXPROCS="${GOMAXPROCS:-$(nproc 2>/dev/null || echo 1)}"
+	export GOMAXPROCS
+	go test -run '^$' -bench 'BenchmarkSamplerParallel|BenchmarkCurveParallel' -benchtime 1s . |
 		tee BENCH_parallel.txt |
-		awk -v gmp="$(nproc 2>/dev/null || echo 1)" '
+		awk '
 		/^Benchmark(Sampler|Curve)Parallel\// {
 			split($1, parts, "/")
-			sub(/Benchmark/, "", parts[1]); sub(/-[0-9]+$/, "", parts[2])
+			sub(/Benchmark/, "", parts[1])
+			if (match(parts[2], /-[0-9]+$/)) {
+				gmp = substr(parts[2], RSTART + 1) + 0
+				parts[2] = substr(parts[2], 1, RSTART - 1)
+			}
 			sub(/workers=/, "", parts[2])
 			bench = parts[1]; workers = parts[2] + 0; ns = $3 + 0
 			nsop[bench "," workers] = ns
@@ -41,6 +68,10 @@ if [ -n "$bench" ]; then
 			ws[workers] = 1
 		}
 		END {
+			if (n == 0) { print "ci.sh: no benchmark output to parse" > "/dev/stderr"; exit 1 }
+			# The testing package omits the "-N" suffix exactly when
+			# runtime.GOMAXPROCS(0) == 1, so no captured suffix means 1.
+			if (gmp + 0 == 0) gmp = 1
 			printf "{\n  \"gomaxprocs\": %d,\n  \"benchmarks\": {", gmp + 0
 			for (i = 1; i <= n; i++) {
 				b = order[i]
@@ -59,6 +90,11 @@ if [ -n "$bench" ]; then
 		}' >BENCH_parallel.json
 	rm -f BENCH_parallel.txt
 	echo "wrote BENCH_parallel.json"
+fi
+
+if [ -n "$serve" ]; then
+	echo "== riskd serving smoke test =="
+	go run ./cmd/riskd -selfcheck
 fi
 
 echo "ci: OK"

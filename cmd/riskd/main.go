@@ -1,0 +1,216 @@
+// Command riskd serves re-identification risk assessments over HTTP: the
+// paper's Assess-Risk recipe (Figure 8) and the hacker-side attack cascade
+// (exact → sampled → O-estimate), behind a content-addressed cache so
+// repeated assessments of the same release are O(1).
+//
+// Usage:
+//
+//	riskd [-addr :8321] [-data dir] [-cache-entries 256]
+//	      [-timeout 30s] [-max-work n] [-workers n] [-max-inflight n]
+//	      [-selfcheck]
+//
+// Endpoints: POST /v1/assess, GET /healthz, GET /debug/vars — see
+// internal/server. -timeout and -max-work carry the CLI budget convention
+// per request: an expiring budget first degrades the assessment (the result
+// reports Degraded and the tier that answered), and only when even the
+// O-estimate floor cannot run does the request fail with HTTP 503 and a
+// Retry-After hint.
+//
+// -selfcheck starts the service on an ephemeral localhost port, runs a
+// health probe and one assess round-trip twice — asserting the repeat is
+// served from cache — then shuts down cleanly; the exit status reports the
+// outcome. ci.sh -serve uses it as the serving smoke test.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8321", "listen address (host:port; port 0 picks one)")
+	data := flag.String("data", "", "directory dataset path references resolve under (empty: inline datasets only)")
+	cacheEntries := flag.Int("cache-entries", 256, "assessment cache capacity (negative: unbounded)")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request work budget (0 = unlimited)")
+	maxWork := flag.Int64("max-work", 0, "operation-count budget per expensive computation (0 = unlimited)")
+	workers := flag.Int("workers", 0, "parallel workers per assessment (0 = GOMAXPROCS)")
+	maxInflight := flag.Int("max-inflight", 0, "concurrently computing assessments (0 = GOMAXPROCS)")
+	selfcheck := flag.Bool("selfcheck", false, "start on an ephemeral port, run a smoke round-trip, exit")
+	flag.Parse()
+
+	cfg := server.Config{
+		DataDir:      *data,
+		Timeout:      *timeout,
+		MaxOps:       *maxWork,
+		Workers:      *workers,
+		MaxInflight:  *maxInflight,
+		CacheEntries: *cacheEntries,
+	}
+	if *selfcheck {
+		if err := runSelfcheck(cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "riskd: selfcheck:", err)
+			os.Exit(1)
+		}
+		fmt.Println("riskd: selfcheck ok")
+		return
+	}
+	if err := serve(cfg, *addr); err != nil {
+		fmt.Fprintln(os.Stderr, "riskd:", err)
+		os.Exit(1)
+	}
+}
+
+// serve runs the service until SIGINT/SIGTERM, then drains connections.
+func serve(cfg server.Config, addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{
+		Handler:           server.New(cfg).Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Printf("riskd: listening on %s", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		log.Print("riskd: shutting down")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		return srv.Shutdown(shutCtx)
+	}
+}
+
+// runSelfcheck exercises the full HTTP surface in-process: healthz, a cold
+// assess, a warm (cached) repeat, and /debug/vars, then a clean shutdown.
+func runSelfcheck(cfg server.Config) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: server.New(cfg).Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("riskd: selfcheck serving on %s\n", base)
+
+	client := &http.Client{Timeout: time.Minute}
+	check := func() error {
+		// Health probe.
+		var health struct {
+			Status string `json:"status"`
+		}
+		if err := getJSON(client, base+"/healthz", &health); err != nil {
+			return fmt.Errorf("healthz: %w", err)
+		}
+		if health.Status != "ok" {
+			return fmt.Errorf("healthz status %q, want ok", health.Status)
+		}
+
+		// One assess round-trip, twice: the repeat must come from cache.
+		// 40 items with distinct supports over 100 transactions keeps the
+		// recipe cheap but non-trivial (it reaches the α search).
+		counts := make([]int, 40)
+		for i := range counts {
+			counts[i] = i + 1
+		}
+		body, err := json.Marshal(server.AssessRequest{
+			Dataset: server.DatasetRef{Transactions: 100, Counts: counts},
+		})
+		if err != nil {
+			return err
+		}
+		var cold, warm server.AssessResponse
+		if err := postJSON(client, base+"/v1/assess", body, &cold); err != nil {
+			return fmt.Errorf("assess (cold): %w", err)
+		}
+		if cold.Cached || cold.Outcome == nil || cold.Mode != "recipe" {
+			return fmt.Errorf("cold assess: cached=%v outcome=%+v", cold.Cached, cold.Outcome)
+		}
+		if err := postJSON(client, base+"/v1/assess", body, &warm); err != nil {
+			return fmt.Errorf("assess (warm): %w", err)
+		}
+		if !warm.Cached {
+			return errors.New("second identical assess was not served from cache")
+		}
+		if warm.Key != cold.Key {
+			return fmt.Errorf("cache keys differ across identical requests: %s vs %s", cold.Key, warm.Key)
+		}
+		fmt.Printf("riskd: assess ok (method %q, cached repeat, key %s)\n", cold.Method, cold.Key[:12])
+
+		var vars struct {
+			Cache struct {
+				Hits int64 `json:"hits"`
+			} `json:"cache"`
+		}
+		if err := getJSON(client, base+"/debug/vars", &vars); err != nil {
+			return fmt.Errorf("debug/vars: %w", err)
+		}
+		if vars.Cache.Hits < 1 {
+			return fmt.Errorf("debug/vars reports %d cache hits, want >= 1", vars.Cache.Hits)
+		}
+		return nil
+	}
+	checkErr := check()
+
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		if checkErr == nil {
+			checkErr = fmt.Errorf("shutdown: %w", err)
+		}
+	}
+	if serveErr := <-errc; serveErr != nil && serveErr != http.ErrServerClosed && checkErr == nil {
+		checkErr = serveErr
+	}
+	return checkErr
+}
+
+func getJSON(client *http.Client, url string, out any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return decodeJSON(resp, out)
+}
+
+func postJSON(client *http.Client, url string, body []byte, out any) error {
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return decodeJSON(resp, out)
+}
+
+func decodeJSON(resp *http.Response, out any) error {
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("HTTP %d: %s", resp.StatusCode, raw)
+	}
+	return json.Unmarshal(raw, out)
+}

@@ -1,0 +1,28 @@
+package belief
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+)
+
+// Digest returns a stable content address of the belief function: a hex
+// SHA-256 over the IEEE-754 bits of every interval bound in item order.
+// Construction (New, Parse) canonicalizes intervals — clamping to [0, 1] and
+// rejecting NaN — before they reach a Function, so two textually different
+// specs that parse to the same prior digest equal. Assessment caches key on
+// this digest rather than on the raw spec text (see internal/riskcache).
+func (f *Function) Digest() string {
+	h := sha256.New()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(len(f.iv)))
+	h.Write(buf[:])
+	for _, iv := range f.iv {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(iv.Lo))
+		h.Write(buf[:])
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(iv.Hi))
+		h.Write(buf[:])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

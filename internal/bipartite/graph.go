@@ -71,9 +71,16 @@ func Build(bf *belief.Function, gr *dataset.Grouping) (*Graph, error) {
 // groupRange returns the inclusive range of indices of freqs (sorted
 // ascending) falling inside the closed interval iv, with belief.Epsilon
 // slack. An empty range is returned as (1, 0)-style lo > hi.
+//
+// The bounds must agree with belief.Interval.Contains on every frequency —
+// edges of the graph are defined as "observed frequency lies in the belief
+// interval", and Compliant/CompliantCount must match belief.CompliantMask.
+// Contains admits f ∈ [Lo−ε, Hi+ε] with both endpoints included, so the
+// upper search uses > (first index strictly beyond Hi+ε) rather than
+// SearchFloat64s' ≥, which would drop a frequency lying exactly at Hi+ε.
 func groupRange(freqs []float64, iv belief.Interval) (lo, hi int) {
 	lo = sort.SearchFloat64s(freqs, iv.Lo-belief.Epsilon)
-	hi = sort.SearchFloat64s(freqs, iv.Hi+belief.Epsilon) - 1
+	hi = sort.Search(len(freqs), func(i int) bool { return freqs[i] > iv.Hi+belief.Epsilon }) - 1
 	return lo, hi
 }
 

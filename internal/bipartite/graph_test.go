@@ -1,7 +1,9 @@
 package bipartite
 
 import (
+	"math"
 	"math/rand"
+	"sort"
 	"testing"
 
 	"repro/internal/belief"
@@ -131,6 +133,119 @@ func TestNonCompliantEmptyRange(t *testing.T) {
 	}
 	if _, err := g.Propagate(); err != ErrInfeasible {
 		t.Errorf("Propagate = %v, want ErrInfeasible", err)
+	}
+}
+
+// TestGroupRangeBoundaries pins the closed-interval semantics of groupRange:
+// a frequency group is covered exactly when belief.Interval.Contains admits
+// its frequency — both interval endpoints included, with Epsilon slack on
+// each side. The Hi+ε case is the historical off-by-ε: SearchFloat64s on the
+// upper bound excluded a frequency lying exactly at Hi+ε while Contains
+// included it, so HasEdge and Contains disagreed there.
+func TestGroupRangeBoundaries(t *testing.T) {
+	// Boundary frequencies are computed with runtime float64 arithmetic on
+	// variables, exactly as groupRange and Contains compute them — Go folds
+	// untyped-constant expressions at infinite precision, which can land one
+	// ulp away from the runtime value and would test the wrong boundary.
+	eps := float64(belief.Epsilon)
+	iv := belief.Interval{Lo: 0.4, Hi: 0.6}
+	cases := []struct {
+		name string
+		f    float64
+	}{
+		{"at Lo", iv.Lo},
+		{"at Hi", iv.Hi},
+		{"inside", 0.5},
+		{"at Lo-eps", iv.Lo - eps},
+		{"at Hi+eps", iv.Hi + eps},
+		{"at Lo-2eps", iv.Lo - 2*eps},
+		{"at Hi+2eps", iv.Hi + 2*eps},
+		{"well below", 0.1},
+		{"well above", 0.9},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			freqs := []float64{0.1, tc.f, 0.9}
+			sort.Float64s(freqs)
+			i := sort.SearchFloat64s(freqs, tc.f)
+			lo, hi := groupRange(freqs, iv)
+			got := lo <= i && i <= hi
+			want := iv.Contains(tc.f)
+			if got != want {
+				t.Errorf("groupRange covers f=%v: %v, Contains: %v", tc.f, got, want)
+			}
+		})
+	}
+	// Explicit expectations, independent of Contains: exact endpoints and the
+	// ±ε slack are in; anything beyond 2ε is out.
+	for _, in := range []float64{iv.Lo, iv.Hi, 0.5, iv.Lo - eps, iv.Hi + eps} {
+		lo, hi := groupRange([]float64{in}, iv)
+		if lo > hi {
+			t.Errorf("groupRange: frequency %v should be covered by %v", in, iv)
+		}
+	}
+	for _, out := range []float64{iv.Lo - 2*eps, iv.Hi + 2*eps, 0, 1} {
+		lo, hi := groupRange([]float64{out}, iv)
+		if lo <= hi {
+			t.Errorf("groupRange: frequency %v should not be covered by %v", out, iv)
+		}
+	}
+}
+
+// TestHasEdgeMatchesContains is the randomized agreement property behind
+// TestGroupRangeBoundaries: for every pair (w, x) of a built graph,
+// HasEdge(w, x) must equal bf.Contains(x, freq(w)), including for intervals
+// whose bounds sit exactly ±ε or ±2ε off an observed frequency.
+func TestHasEdgeMatchesContains(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(8)
+		m := 8 + rng.Intn(12)
+		counts := make([]int, n)
+		for i := range counts {
+			counts[i] = rng.Intn(m + 1)
+		}
+		ft, err := dataset.NewTable(m, counts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		freqs := ft.Frequencies()
+		ivs := make([]belief.Interval, n)
+		for i := range ivs {
+			// Mix plain random intervals with adversarial ones whose bounds
+			// land exactly on an observed frequency shifted by 0, ±ε or ±2ε.
+			switch rng.Intn(3) {
+			case 0:
+				a, b := rng.Float64(), rng.Float64()
+				if a > b {
+					a, b = b, a
+				}
+				ivs[i] = belief.Interval{Lo: a, Hi: b}
+			default:
+				f := freqs[rng.Intn(n)]
+				shifts := []float64{0, belief.Epsilon, -belief.Epsilon, 2 * belief.Epsilon, -2 * belief.Epsilon}
+				lo := f - shifts[rng.Intn(len(shifts))]
+				hi := f + shifts[rng.Intn(len(shifts))]
+				// Clamp each bound into [0,1] before ordering: Interval.Clamp
+				// alone would invert a pair like lo=hi=1+2ε into [1+2ε, 1].
+				lo = math.Min(1, math.Max(0, lo))
+				hi = math.Min(1, math.Max(0, hi))
+				if lo > hi {
+					lo, hi = hi, lo
+				}
+				ivs[i] = belief.Interval{Lo: lo, Hi: hi}
+			}
+		}
+		bf := belief.MustNew(ivs)
+		g := buildGraph(t, bf, ft)
+		for x := 0; x < n; x++ {
+			for w := 0; w < n; w++ {
+				if got, want := g.HasEdge(w, x), bf.Contains(x, freqs[w]); got != want {
+					t.Fatalf("trial %d: HasEdge(%d,%d)=%v but Contains(%d, %v)=%v (interval %v)",
+						trial, w, x, got, x, freqs[w], want, bf.Interval(x))
+				}
+			}
+		}
 	}
 }
 

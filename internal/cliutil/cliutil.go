@@ -10,6 +10,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/budget"
 	"repro/internal/parallel"
@@ -47,6 +48,21 @@ func WorkersFlag() func(context.Context) context.Context {
 	return func(ctx context.Context) context.Context {
 		return parallel.WithWorkers(ctx, *workers)
 	}
+}
+
+// RequestContext derives a per-request work-budget context from a base
+// context: the same -timeout / -max-work semantics the CLI binaries apply
+// process-wide, applied per unit of served work. riskd uses it so every
+// POST /v1/assess gets its own deadline and operation limit while sharing
+// the server's base context (worker cap, shutdown). The cancel func must be
+// called when the request finishes.
+func RequestContext(base context.Context, timeout time.Duration, maxOps int64) (context.Context, context.CancelFunc) {
+	ctx := base
+	cancel := context.CancelFunc(func() {})
+	if timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+	}
+	return budget.WithMaxOps(ctx, maxOps), cancel
 }
 
 // Fatal prints the error prefixed with the command name and exits with the

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
 	"strconv"
 )
 
@@ -176,6 +177,19 @@ func WriteFIMI(w io.Writer, db *Database) error {
 		}
 	}
 	return bw.Flush()
+}
+
+// ReadFIMIFile streams the FIMI file at path into a frequency table, with
+// the default input Limits. Errors opening the file are returned unwrapped
+// so callers can distinguish a missing file (fs.ErrNotExist) from malformed
+// content.
+func ReadFIMIFile(path string) (*FrequencyTable, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadFIMICounts(f, 0)
 }
 
 // ReadFIMICounts streams a FIMI-format database and returns only its
