@@ -269,7 +269,7 @@ func AttackTableCtx(ctx context.Context, bf *BeliefFunction, ft *FrequencyTable,
 	// explicit cancellation, checked above and inside the cascade below).
 	floorCtx := context.WithoutCancel(ctx)
 	oe, oerr := core.OEstimateCtx(floorCtx, bf, ft, core.OEOptions{Propagate: true})
-	if oerr == bipartite.ErrInfeasible {
+	if errors.Is(oerr, bipartite.ErrInfeasible) {
 		rep.Infeasible = true
 		oe, oerr = core.OEstimateCtx(floorCtx, bf, ft, core.OEOptions{})
 	}
@@ -313,7 +313,7 @@ func AttackTableCtx(ctx context.Context, bf *BeliefFunction, ft *FrequencyTable,
 	// tier when only Simulate was requested.
 	est, serr := matching.EstimateCracksCtx(ctx, g, opts.Sampler, opts.Rng)
 	switch {
-	case serr == bipartite.ErrInfeasible:
+	case errors.Is(serr, bipartite.ErrInfeasible):
 		rep.Infeasible = true
 		return rep, nil
 	case serr == nil:
@@ -373,7 +373,7 @@ func AttackSubsetCtx(ctx context.Context, bf *BeliefFunction, db *Database, inte
 	ft := db.Table()
 	rep = AttackReport{Items: ft.NItems, Method: MethodOEstimate}
 	oe, err := core.OEstimateCtx(ctx, bf, ft, core.OEOptions{Propagate: true, Interest: interest})
-	if err == bipartite.ErrInfeasible {
+	if errors.Is(err, bipartite.ErrInfeasible) {
 		rep.Infeasible = true
 		oe, err = core.OEstimateCtx(ctx, bf, ft, core.OEOptions{Interest: interest})
 	}

@@ -1,16 +1,27 @@
 #!/bin/sh
 # ci.sh — the repo's continuous-integration gate, runnable locally.
 #
-#   ./ci.sh          vet + build + race-enabled tests
-#   ./ci.sh -short   same, with -short tests
+#   ./ci.sh          vet + riskvet + build + race-enabled tests
+#   ./ci.sh -short   same, with -short tests plus brief fuzz runs of the
+#                    two parser fuzzers against their committed corpora
 #   ./ci.sh -bench   additionally run the parallel-engine benchmarks and
 #                    emit BENCH_parallel.json (ns/op per worker count and
 #                    speedup vs serial) to track the perf trajectory
 #   ./ci.sh -serve   additionally run the riskd serving smoke test
 #                    (ephemeral port, health probe, assess round-trip,
 #                    cached repeat, clean shutdown)
+#   ./ci.sh -lint    additionally run staticcheck and govulncheck when they
+#                    are installed (each is skipped with a notice otherwise;
+#                    this container has no network to fetch them)
 #
-# Flags combine in any order: ./ci.sh -short -bench -serve.
+# riskvet is the repo's own analyzer suite (see internal/analysis and
+# DESIGN.md §10): ctxbudget, detrand, errcmp, floateq, plus the
+# //lint:allow suppression ledger, whose stale or unreasoned entries fail
+# the gate. It runs as a standalone binary rather than `go vet -vettool`
+# because the unitchecker protocol lives in golang.org/x/tools, which the
+# offline build cannot depend on.
+#
+# Flags combine in any order: ./ci.sh -short -bench -serve -lint.
 # Exits non-zero on the first failure.
 set -eu
 cd "$(dirname "$0")"
@@ -18,14 +29,16 @@ cd "$(dirname "$0")"
 short=""
 bench=""
 serve=""
+lint=""
 for arg in "$@"; do
 	case "$arg" in
 	-short) short="-short" ;;
 	-bench) bench="yes" ;;
 	-serve) serve="yes" ;;
+	-lint) lint="yes" ;;
 	*)
 		echo "ci.sh: unknown flag: $arg" >&2
-		echo "usage: ./ci.sh [-short] [-bench] [-serve]" >&2
+		echo "usage: ./ci.sh [-short] [-bench] [-serve] [-lint]" >&2
 		exit 2
 		;;
 	esac
@@ -34,11 +47,36 @@ done
 echo "== go vet =="
 go vet ./...
 
+echo "== riskvet =="
+go build -o riskvet ./cmd/riskvet
+./riskvet ./...
+rm -f riskvet
+
 echo "== go build =="
 go build ./...
 
 echo "== go test -race =="
 go test -race $short ./...
+
+if [ -n "$short" ]; then
+	echo "== fuzz (committed corpora, 5s each) =="
+	go test -run '^$' -fuzz '^FuzzReadFIMI$' -fuzztime 5s ./internal/dataset/
+	go test -run '^$' -fuzz '^FuzzBeliefParse$' -fuzztime 5s ./internal/belief/
+fi
+
+if [ -n "$lint" ]; then
+	echo "== lint extras =="
+	if command -v staticcheck >/dev/null 2>&1; then
+		staticcheck ./...
+	else
+		echo "ci.sh: staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"
+	fi
+	if command -v govulncheck >/dev/null 2>&1; then
+		govulncheck ./...
+	else
+		echo "ci.sh: govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"
+	fi
+fi
 
 if [ -n "$bench" ]; then
 	echo "== parallel benchmarks =="

@@ -17,6 +17,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -121,7 +122,7 @@ func runAttack(ctx context.Context, ft *dataset.FrequencyTable, path, name strin
 	fmt.Printf("belief function  %s (compliancy α = %.3f)\n", path, alpha)
 
 	oe, err := core.OEstimateCtx(ctx, bf, ft, core.OEOptions{Propagate: true})
-	if err == bipartite.ErrInfeasible {
+	if errors.Is(err, bipartite.ErrInfeasible) {
 		fmt.Println("note             no globally consistent mapping; §5.3 per-item estimate")
 		oe, err = core.OEstimateCtx(ctx, bf, ft, core.OEOptions{})
 	}

@@ -1,0 +1,52 @@
+// Command riskvet runs the repo's analyzer suite (ctxbudget, detrand,
+// errcmp, floateq — see internal/analysis) over the given package patterns
+// and exits non-zero when any unsuppressed diagnostic remains. ci.sh builds
+// it and runs it as part of the default gate:
+//
+//	go build -o riskvet ./cmd/riskvet
+//	./riskvet ./...
+//
+// Output format matches go vet: file:line:col: [check] message. Findings
+// are suppressed with an inline or preceding-line comment
+//
+//	//lint:allow <check> <reason>
+//
+// where the reason is mandatory and a suppression that stops matching
+// anything ("stale") is itself an error, so the allow ledger stays honest.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/riskvet"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: riskvet [packages]\n\nchecks:\n")
+		for _, a := range riskvet.Analyzers {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-10s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	diags, fset, err := riskvet.Check(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "riskvet:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, analysis.Format(fset, d))
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "riskvet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,72 @@
+// Package analysis is the repo's self-contained static-analysis framework:
+// a deliberately small mirror of golang.org/x/tools/go/analysis, built only
+// on the standard library so the module stays dependency-free.
+//
+// The repo's correctness story rests on conventions that the compiler cannot
+// see — every hot path threads a context+budget, Monte-Carlo code draws only
+// from seeded SplitMix64 streams, float comparisons on frequencies go
+// through the eps helpers, and budget sentinels are matched with errors.Is.
+// The analyzers under internal/analysis/... (ctxbudget, detrand, floateq,
+// errcmp) encode those conventions as mechanical checks; cmd/riskvet runs
+// them as part of ci.sh so a new subsystem cannot silently regress the
+// guarantees the O-estimate experiments depend on.
+//
+// The API shapes (Analyzer, Pass, Diagnostic) match x/tools so the checks
+// can migrate to the real framework verbatim if the dependency ever becomes
+// available; the loader (Load) stands in for go/packages by shelling out to
+// `go list -export -deps -json` and typechecking the target sources against
+// the toolchain's export data, which works fully offline.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the check in diagnostics and in //lint:allow
+	// suppression comments. By convention it is a single lowercase word.
+	Name string
+	// Doc is the one-paragraph description printed by `riskvet -help`.
+	Doc string
+	// Run applies the check to one package and reports findings through
+	// pass.Report. It must not retain the pass after returning.
+	Run func(pass *Pass) error
+}
+
+// A Pass presents one package to an Analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File // parsed non-test sources, in file-name order
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// A Diagnostic is one finding at a position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+	// Check is the reporting analyzer's name; the driver fills it in so
+	// suppression comments can be matched per check.
+	Check string
+}
+
+// Report emits a diagnostic.
+func (p *Pass) Report(d Diagnostic) {
+	d.Check = p.Analyzer.Name
+	p.report(d)
+}
+
+// Reportf emits a diagnostic at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Position resolves a diagnostic position against the pass's file set.
+func (p *Pass) Position(pos token.Pos) token.Position { return p.Fset.Position(pos) }

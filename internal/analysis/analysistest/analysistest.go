@@ -1,0 +1,145 @@
+// Package analysistest runs analyzers over fixture packages and checks the
+// produced diagnostics against expectations written in the fixture sources,
+// mirroring golang.org/x/tools/go/analysis/analysistest on top of the
+// offline loader.
+//
+// An expectation is a comment of the form
+//
+//	// want "regexp"            — a diagnostic on this line must match
+//	// want `regexp` `regexp2`  — two diagnostics on this line, one per pattern
+//	// want+1 "regexp"          — the diagnostic is on the following line
+//
+// Patterns are matched against "[check] message". The +N form exists for
+// diagnostics that anchor on comment lines themselves (the suppress check
+// reports stale //lint:allow comments at the comment's own position, where
+// an inline marker cannot live).
+//
+// Every diagnostic must be claimed by exactly one expectation and every
+// expectation must claim a diagnostic; surpluses on either side fail the
+// test.
+package analysistest
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	met  bool
+}
+
+const marker = "// want"
+
+var tokenRe = regexp.MustCompile("^\\s*(\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`)")
+
+// Run loads the single fixture package in dir, applies the analyzers plus
+// the //lint:allow suppression pass, and matches diagnostics against the
+// fixture's want comments. known lists the check names //lint:allow may
+// legally reference (analyzer names are added automatically by the driver).
+func Run(t *testing.T, dir string, analyzers []*analysis.Analyzer, known []string) {
+	t.Helper()
+	pkgs, err := analysis.Load(dir, ".")
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("fixture %s matched no packages", dir)
+	}
+
+	var expects []*expectation
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					pos := pkg.Fset.Position(c.Pos())
+					expects = append(expects, parseWant(t, c.Text, pos.Filename, pos.Line)...)
+				}
+			}
+		}
+	}
+
+	diags, err := analysis.Run(pkgs, func(string) []*analysis.Analyzer { return analyzers }, known)
+	if err != nil {
+		t.Fatalf("running analyzers on %s: %v", dir, err)
+	}
+	fset := pkgs[0].Fset
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		msg := "[" + d.Check + "] " + d.Message
+		claimed := false
+		for _, e := range expects {
+			if !e.met && e.file == pos.Filename && e.line == pos.Line && e.re.MatchString(msg) {
+				e.met = true
+				claimed = true
+				break
+			}
+		}
+		if !claimed {
+			t.Errorf("unexpected diagnostic: %s", analysis.Format(fset, d))
+		}
+	}
+	for _, e := range expects {
+		if !e.met {
+			t.Errorf("%s:%d: no diagnostic matched %q", e.file, e.line, e.raw)
+		}
+	}
+}
+
+// parseWant extracts the expectations of one comment's text, or nil when the
+// comment carries no want marker.
+func parseWant(t *testing.T, text, file string, line int) []*expectation {
+	t.Helper()
+	idx := strings.Index(text, marker)
+	if idx < 0 {
+		return nil
+	}
+	rest := text[idx+len(marker):]
+	if strings.HasPrefix(rest, "+") {
+		n := 1
+		for n < len(rest) && rest[n] >= '0' && rest[n] <= '9' {
+			n++
+		}
+		off, err := strconv.Atoi(rest[1:n])
+		if err != nil {
+			t.Fatalf("%s:%d: bad want offset in %q", file, line, text)
+		}
+		line += off
+		rest = rest[n:]
+	}
+	var out []*expectation
+	for {
+		m := tokenRe.FindStringSubmatch(rest)
+		if m == nil {
+			break
+		}
+		rest = rest[len(m[0]):]
+		tok := m[1]
+		var pat string
+		if tok[0] == '`' {
+			pat = tok[1 : len(tok)-1]
+		} else {
+			var err error
+			pat, err = strconv.Unquote(tok)
+			if err != nil {
+				t.Fatalf("%s:%d: bad want pattern %s: %v", file, line, tok, err)
+			}
+		}
+		re, err := regexp.Compile(pat)
+		if err != nil {
+			t.Fatalf("%s:%d: bad want regexp %q: %v", file, line, pat, err)
+		}
+		out = append(out, &expectation{file: file, line: line, re: re, raw: pat})
+	}
+	if len(out) == 0 {
+		t.Fatalf("%s:%d: want marker with no patterns: %q", file, line, text)
+	}
+	return out
+}

@@ -1,0 +1,268 @@
+// Package detrand enforces the determinism contract of the Monte-Carlo
+// packages (DESIGN.md §8, §10.2): for a fixed seed the numbers must be
+// bit-identical at any worker count, so those packages may not observe the
+// wall clock, the global math/rand stream, or Go's randomized map iteration
+// order in any way that can reach an output.
+//
+// Checks, in the deterministic packages (matching, recipe, experiments,
+// parallel):
+//
+//  1. time.Now (and friends time.Since/time.Until, which call it) is
+//     forbidden: wall-clock values must never mix into results. Timing
+//     provenance fields are the one legitimate use and carry a
+//     //lint:allow with that reason.
+//  2. The global top-level math/rand functions (rand.Intn, rand.Float64,
+//     rand.Perm, rand.Shuffle, ...) are forbidden: they draw from a shared
+//     process-global stream, so concurrent workers interleave
+//     nondeterministically. Constructors (rand.New, rand.NewSource,
+//     rand.NewZipf) are fine — per-item generators seeded via
+//     parallel.SplitSeed are exactly the sanctioned pattern.
+//  3. rand.NewSource/rand.NewPCG seeded from time.Now is called out
+//     specifically: a wall-clock seed defeats reproducibility at the root.
+//  4. Iterating a map is allowed only when the loop body is order
+//     insensitive: integer accumulation (x++, x += n), set/map writes,
+//     delete, and control flow around those. Anything else — appends,
+//     float accumulation (addition is not associative), calls, sends —
+//     observes Go's randomized iteration order and must instead collect
+//     keys, sort, then iterate the slice.
+package detrand
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Packages holds the import paths the determinism contract covers.
+// cmd/riskvet wires the real repo layout; tests substitute fixtures.
+var Packages = map[string]bool{
+	"repro/internal/matching":    true,
+	"repro/internal/recipe":      true,
+	"repro/internal/experiments": true,
+	"repro/internal/parallel":    true,
+}
+
+// globalRand is the set of math/rand top-level functions that draw from the
+// process-global source.
+var globalRand = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Seed": true, "Read": true,
+}
+
+// Analyzer is the detrand check.
+var Analyzer = &analysis.Analyzer{
+	Name: "detrand",
+	Doc: "deterministic packages must not observe wall clocks, the global math/rand " +
+		"stream, or map iteration order; randomness comes from per-item SplitMix64 seeds",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !Packages[pass.Pkg.Path()] {
+		return nil
+	}
+	// time.Now calls already reported as part of a wall-clock-seed
+	// diagnostic, so rule 1 does not double-report them.
+	consumed := map[ast.Node]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch nn := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, nn, consumed)
+			case *ast.RangeStmt:
+				checkMapRange(pass, nn)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, consumed map[ast.Node]bool) {
+	obj := callTarget(pass, call)
+	if obj == nil || obj.Pkg() == nil {
+		return
+	}
+	switch obj.Pkg().Path() {
+	case "time":
+		switch obj.Name() {
+		case "Now", "Since", "Until":
+			if !consumed[call] {
+				pass.Reportf(call.Pos(),
+					"time.%s in a deterministic package: wall-clock values must not reach Monte-Carlo outputs",
+					obj.Name())
+			}
+		}
+	case "math/rand", "math/rand/v2":
+		if obj.Type() != nil {
+			if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return // methods on *rand.Rand are the sanctioned per-item generators
+			}
+		}
+		name := obj.Name()
+		if globalRand[name] {
+			pass.Reportf(call.Pos(),
+				"global rand.%s draws from the process-wide stream and breaks worker-count determinism; use a *rand.Rand from parallel.RNG/SplitSeed",
+				name)
+			return
+		}
+		if name == "NewSource" || name == "NewPCG" {
+			if now := findTimeCall(pass, call); now != nil {
+				consumed[now] = true
+				pass.Reportf(call.Pos(),
+					"rand.%s seeded from the wall clock defeats reproducibility; derive the seed with parallel.SplitSeed from the run's root seed",
+					name)
+			}
+		}
+	}
+}
+
+// findTimeCall returns the first time.Now/Since/Until call in the call's
+// argument subtrees, or nil.
+func findTimeCall(pass *analysis.Pass, call *ast.CallExpr) ast.Node {
+	var found ast.Node
+	for _, arg := range call.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			if found != nil {
+				return false
+			}
+			inner, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if obj := callTarget(pass, inner); obj != nil && obj.Pkg() != nil &&
+				obj.Pkg().Path() == "time" &&
+				(obj.Name() == "Now" || obj.Name() == "Since" || obj.Name() == "Until") {
+				found = inner
+				return false
+			}
+			return true
+		})
+	}
+	return found
+}
+
+// --- rule 4: order-sensitive map iteration ---
+
+func checkMapRange(pass *analysis.Pass, rng *ast.RangeStmt) {
+	tv, ok := pass.TypesInfo.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	if reason := orderSensitive(pass, rng.Body.List); reason != "" {
+		pass.Reportf(rng.Pos(),
+			"map iteration order can reach an output here (%s); collect the keys, sort, and range over the slice instead",
+			reason)
+	}
+}
+
+// orderSensitive reports why a map-range body is not order insensitive, or
+// "" if every statement is an allowed commutative update.
+func orderSensitive(pass *analysis.Pass, stmts []ast.Stmt) string {
+	for _, s := range stmts {
+		if reason := stmtOrderSensitive(pass, s); reason != "" {
+			return reason
+		}
+	}
+	return ""
+}
+
+func stmtOrderSensitive(pass *analysis.Pass, s ast.Stmt) string {
+	switch ss := s.(type) {
+	case *ast.IncDecStmt:
+		if isIntegerExpr(pass, ss.X) {
+			return ""
+		}
+		return "non-integer ++/--"
+	case *ast.AssignStmt:
+		return assignOrderSensitive(pass, ss)
+	case *ast.IfStmt:
+		if ss.Init != nil {
+			if r := stmtOrderSensitive(pass, ss.Init); r != "" {
+				return r
+			}
+		}
+		if r := orderSensitive(pass, ss.Body.List); r != "" {
+			return r
+		}
+		if ss.Else != nil {
+			return stmtOrderSensitive(pass, ss.Else)
+		}
+		return ""
+	case *ast.BlockStmt:
+		return orderSensitive(pass, ss.List)
+	case *ast.BranchStmt:
+		if ss.Tok == token.CONTINUE || ss.Tok == token.BREAK {
+			return ""
+		}
+		return "goto/fallthrough"
+	case *ast.ExprStmt:
+		if call, ok := ss.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "delete" {
+				if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+					return ""
+				}
+			}
+		}
+		return "a call whose effects depend on visit order"
+	default:
+		return "a statement that observes iteration order"
+	}
+}
+
+func assignOrderSensitive(pass *analysis.Pass, a *ast.AssignStmt) string {
+	switch a.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN,
+		token.XOR_ASSIGN:
+		// Commutative only over integers: float addition rounds differently
+		// under reordering.
+		for _, lhs := range a.Lhs {
+			if !isIntegerExpr(pass, lhs) {
+				return "float/compound accumulation is not reorder-safe"
+			}
+		}
+		return ""
+	case token.ASSIGN, token.DEFINE:
+		// Writing m2[k] = v builds a set keyed by the (unique) map keys —
+		// order free. Anything else is a last-writer-wins race with the
+		// iteration order.
+		for _, lhs := range a.Lhs {
+			if _, ok := lhs.(*ast.IndexExpr); !ok {
+				return "plain assignment keeps the last visited value"
+			}
+		}
+		return ""
+	default:
+		return "compound assignment " + a.Tok.String()
+	}
+}
+
+func isIntegerExpr(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsInteger != 0
+}
+
+func callTarget(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := pass.TypesInfo.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}

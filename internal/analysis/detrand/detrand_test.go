@@ -1,0 +1,36 @@
+package detrand
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestFixture(t *testing.T) {
+	const fixture = "repro/internal/analysis/testdata/src/detrandtest"
+	Packages[fixture] = true
+	defer delete(Packages, fixture)
+	analysistest.Run(t, "../testdata/src/detrandtest", []*analysis.Analyzer{Analyzer}, nil)
+}
+
+func TestOutOfScopePackageIsIgnored(t *testing.T) {
+	// Without registration the fixture is out of scope: the same sources
+	// must produce no diagnostics (the fixture's want markers would fail the
+	// run if the analyzer fired), so drive the analyzer directly.
+	pkgs, err := analysis.Load("../testdata/src/detrandtest", ".")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	diags, err := analysis.Run(pkgs, func(string) []*analysis.Analyzer {
+		return []*analysis.Analyzer{Analyzer}
+	}, []string{"detrand"})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, d := range diags {
+		if d.Check == Analyzer.Name {
+			t.Errorf("out-of-scope package got diagnostic: %s", analysis.Format(pkgs[0].Fset, d))
+		}
+	}
+}

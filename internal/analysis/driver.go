@@ -1,0 +1,67 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// Run applies, for each package, the analyzers selected by analyzersFor
+// (keyed on the package's import path), then applies //lint:allow
+// suppressions and stale-suppression checks. The returned diagnostics are
+// sorted by position and are exactly the findings a clean tree must not
+// have.
+//
+// Suppression semantics: an allow comment suppresses same-named diagnostics
+// on its own line or the next line; unknown check names, missing reasons,
+// and allows that suppress nothing are themselves diagnostics, so the
+// suppression ledger can never rot silently. Every analyzer name that can
+// run anywhere in the suite counts as "known" in every package — a
+// suppression for an analyzer that is simply not enabled on that package is
+// reported as stale rather than unknown.
+func Run(pkgs []*Package, analyzersFor func(importPath string) []*Analyzer, allKnown []string) ([]Diagnostic, error) {
+	known := map[string]bool{}
+	for _, name := range allKnown {
+		known[name] = true
+	}
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		analyzers := analyzersFor(pkg.ImportPath)
+		var diags []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			pass.report = func(d Diagnostic) { diags = append(diags, d) }
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %v", a.Name, pkg.ImportPath, err)
+			}
+			known[a.Name] = true
+		}
+		allows := collectAllows(pkg)
+		all = append(all, applyAllows(pkg, diags, allows, known)...)
+	}
+	if len(pkgs) > 0 {
+		fset := pkgs[0].Fset
+		sort.SliceStable(all, func(i, j int) bool {
+			pi, pj := fset.Position(all[i].Pos), fset.Position(all[j].Pos)
+			if pi.Filename != pj.Filename {
+				return pi.Filename < pj.Filename
+			}
+			if pi.Line != pj.Line {
+				return pi.Line < pj.Line
+			}
+			return all[i].Check < all[j].Check
+		})
+	}
+	return all, nil
+}
+
+// Format renders a diagnostic the way go vet does: file:line:col: message.
+func Format(fset *token.FileSet, d Diagnostic) string {
+	return fmt.Sprintf("%s: [%s] %s", fset.Position(d.Pos), d.Check, d.Message)
+}

@@ -1,0 +1,227 @@
+// Package errcmp enforces the repo's error-identity and degradation
+// provenance conventions (DESIGN.md §10.4).
+//
+// Checks, in every package:
+//
+//  1. Comparing an error sentinel with == or != is flagged when the
+//     sentinel is one of the module's own package-level error variables
+//     (budget.ErrBudgetExceeded, budget.ErrCanceled, bipartite's
+//     ErrInfeasible, ...) or a context sentinel. The degradation cascade
+//     and the %w verbs wrap these errors, so identity comparison silently
+//     stops matching; errors.Is is the only correct test.
+//  2. Degraded results must carry their provenance. For any struct type
+//     with the Degraded/DegradedReason field pair:
+//     a composite literal setting Degraded without DegradedReason, and an
+//     `x.Degraded = true` assignment with no x.DegradedReason assignment in
+//     the same function, both lose the reason the cascade fell back — the
+//     field the server and CLI surface to operators.
+//     Types that also carry a Method field (the cascade's tier record)
+//     must set Method in any literal that sets Degraded.
+package errcmp
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Module is the import-path prefix under which package-level error vars
+// count as wrap-prone sentinels of ours. Tests substitute the fixture
+// prefix.
+var Module = "repro"
+
+// Analyzer is the errcmp check.
+var Analyzer = &analysis.Analyzer{
+	Name: "errcmp",
+	Doc: "budget and module error sentinels must be matched with errors.Is, " +
+		"and degraded results must keep Method/Degraded/DegradedReason provenance",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch nn := n.(type) {
+			case *ast.BinaryExpr:
+				checkSentinelCompare(pass, nn)
+			case *ast.CompositeLit:
+				checkDegradedLit(pass, nn)
+			case *ast.FuncDecl:
+				if nn.Body != nil {
+					checkDegradedAssign(pass, nn.Body)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// --- rule 1: sentinel identity comparisons ---
+
+func checkSentinelCompare(pass *analysis.Pass, b *ast.BinaryExpr) {
+	if b.Op != token.EQL && b.Op != token.NEQ {
+		return
+	}
+	for _, e := range []ast.Expr{b.X, b.Y} {
+		if name := sentinelName(pass, e); name != "" {
+			pass.Reportf(b.OpPos,
+				"%s compared with %s: the cascade and %%w wrap this sentinel, so identity fails on wrapped errors; use errors.Is(err, %s)",
+				name, b.Op, name)
+			return
+		}
+	}
+}
+
+// sentinelName reports the qualified name of e when it is a package-level
+// error variable belonging to this module or the context package.
+func sentinelName(pass *analysis.Pass, e ast.Expr) string {
+	var id *ast.Ident
+	switch ee := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = ee
+	case *ast.SelectorExpr:
+		id = ee.Sel
+	default:
+		return ""
+	}
+	obj, ok := pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok || obj.Pkg() == nil {
+		return ""
+	}
+	// Package-level error variables only.
+	if obj.Parent() != obj.Pkg().Scope() {
+		return ""
+	}
+	if !isErrorType(obj.Type()) {
+		return ""
+	}
+	path := obj.Pkg().Path()
+	switch {
+	case path == "context": // Canceled, DeadlineExceeded
+	case path == Module || strings.HasPrefix(path, Module+"/"):
+	default:
+		return ""
+	}
+	return obj.Pkg().Name() + "." + obj.Name()
+}
+
+func isErrorType(t types.Type) bool {
+	iface, ok := t.Underlying().(*types.Interface)
+	return ok && iface.NumMethods() == 1 && iface.Method(0).Name() == "Error"
+}
+
+// --- rule 2: degradation provenance ---
+
+// provenanceFields reports whether t is a provenance-bearing struct:
+// hasPair when it has the Degraded+DegradedReason pair, hasMethod when it
+// additionally records the cascade tier in a Method field.
+func provenanceFields(t types.Type) (hasPair, hasMethod bool) {
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false, false
+	}
+	var degraded, reason bool
+	for i := 0; i < st.NumFields(); i++ {
+		switch st.Field(i).Name() {
+		case "Degraded":
+			degraded = true
+		case "DegradedReason":
+			reason = true
+		case "Method":
+			hasMethod = true
+		}
+	}
+	return degraded && reason, hasMethod
+}
+
+func checkDegradedLit(pass *analysis.Pass, lit *ast.CompositeLit) {
+	tv, ok := pass.TypesInfo.Types[lit]
+	if !ok || tv.Type == nil {
+		return
+	}
+	hasPair, hasMethod := provenanceFields(tv.Type)
+	if !hasPair {
+		return
+	}
+	set := map[string]bool{}
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			return // positional literal sets every field; nothing dropped
+		}
+		if key, ok := kv.Key.(*ast.Ident); ok {
+			set[key.Name] = true
+		}
+	}
+	if set["Degraded"] && !set["DegradedReason"] {
+		pass.Reportf(lit.Pos(),
+			"composite literal sets Degraded but drops DegradedReason; a degraded result must say which budget forced the fallback")
+	}
+	if set["Degraded"] && hasMethod && !set["Method"] {
+		pass.Reportf(lit.Pos(),
+			"composite literal sets Degraded but drops Method; provenance must record which cascade tier produced the numbers")
+	}
+}
+
+// checkDegradedAssign flags `x.Degraded = true` with no x.DegradedReason
+// assignment anywhere in the same function body.
+func checkDegradedAssign(pass *analysis.Pass, body *ast.BlockStmt) {
+	type site struct {
+		pos  token.Pos
+		recv string
+	}
+	var degradedSets []site
+	reasonSets := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		a, ok := n.(*ast.AssignStmt)
+		if !ok || a.Tok != token.ASSIGN {
+			return true
+		}
+		for i, lhs := range a.Lhs {
+			sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+			if !ok {
+				continue
+			}
+			recvTv, ok := pass.TypesInfo.Types[sel.X]
+			if !ok {
+				continue
+			}
+			if hasPair, _ := provenanceFields(derefType(recvTv.Type)); !hasPair {
+				continue
+			}
+			recv := types.ExprString(sel.X)
+			switch sel.Sel.Name {
+			case "Degraded":
+				// Only Degraded = true needs a reason; clearing the flag or
+				// copying it from another result does not.
+				if len(a.Rhs) == len(a.Lhs) {
+					if id, ok := ast.Unparen(a.Rhs[i]).(*ast.Ident); !ok || id.Name != "true" {
+						continue
+					}
+				}
+				degradedSets = append(degradedSets, site{pos: sel.Pos(), recv: recv})
+			case "DegradedReason":
+				reasonSets[recv] = true
+			}
+		}
+		return true
+	})
+	for _, s := range degradedSets {
+		if !reasonSets[s.recv] {
+			pass.Reportf(s.pos,
+				"%s.Degraded is set but %s.DegradedReason is never assigned in this function; record why the cascade degraded",
+				s.recv, s.recv)
+		}
+	}
+}
+
+func derefType(t types.Type) types.Type {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}

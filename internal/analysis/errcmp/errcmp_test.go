@@ -1,0 +1,14 @@
+package errcmp
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestFixture(t *testing.T) {
+	// errcmp scopes by module prefix; the fixture lives under repro/ and its
+	// own package-level sentinel is therefore in scope without wiring.
+	analysistest.Run(t, "../testdata/src/errcmptest", []*analysis.Analyzer{Analyzer}, nil)
+}

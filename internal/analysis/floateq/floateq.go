@@ -1,0 +1,113 @@
+// Package floateq enforces the eps-comparison convention on the
+// float-interval kernel (DESIGN.md §10.3): frequencies and interval
+// endpoints are float64s produced by division, so exact equality is
+// meaningless at the boundaries the paper's semantics care about — the
+// PR 3 groupRange bug was precisely a hand-rolled comparison at Hi+ε.
+// All equality-style decisions must go through the approved eps helpers
+// (belief.Interval.Contains/Within/IsPoint, belief.EqualEps, and the
+// helpers listed in Approved).
+//
+// Checks, in the interval packages (bipartite, belief):
+//
+//  1. `==` / `!=` between float64 operands is flagged outside approved
+//     helper functions. The NaN self-test `x != x` is allowed.
+//  2. sort.SearchFloat64s is flagged outside approved helpers: its ≥
+//     semantics silently excludes values lying within ε of the probe —
+//     the exact shape of the historical off-by-ε — so every binary search
+//     over frequencies must live in a helper that widens by ε.
+package floateq
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Packages holds the import paths the eps convention covers.
+var Packages = map[string]bool{
+	"repro/internal/bipartite": true,
+	"repro/internal/belief":    true,
+}
+
+// Approved names the eps-helper functions (by unqualified name) whose
+// bodies may compare floats exactly and call sort.SearchFloat64s: they are
+// the single place the ε-widening lives, covered by boundary tests.
+var Approved = map[string]bool{
+	"groupRange": true, // bipartite: the ε-widened frequency range lookup
+	"EqualEps":   true, // belief: |a-b| ≤ ε equality
+	"Contains":   true, // belief.Interval / belief.Function containment
+	"IsPoint":    true,
+	"Within":     true,
+}
+
+// Analyzer is the floateq check.
+var Analyzer = &analysis.Analyzer{
+	Name: "floateq",
+	Doc: "float64 frequency/interval comparisons must use the eps helpers; " +
+		"== / != and sort.SearchFloat64s outside them reintroduce off-by-ε bugs",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !Packages[pass.Pkg.Path()] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || Approved[fn.Name.Name] {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				switch nn := n.(type) {
+				case *ast.BinaryExpr:
+					checkCompare(pass, nn)
+				case *ast.CallExpr:
+					checkSearch(pass, nn)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func checkCompare(pass *analysis.Pass, b *ast.BinaryExpr) {
+	if b.Op != token.EQL && b.Op != token.NEQ {
+		return
+	}
+	if !isFloat(pass, b.X) || !isFloat(pass, b.Y) {
+		return
+	}
+	// x != x is the portable NaN test; it cannot be off by ε.
+	if b.Op == token.NEQ && types.ExprString(b.X) == types.ExprString(b.Y) {
+		return
+	}
+	pass.Reportf(b.OpPos,
+		"%s on float64 values: frequencies and interval endpoints carry rounding error; use an eps helper (belief.EqualEps, Interval.Contains/Within)",
+		b.Op)
+}
+
+func checkSearch(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "sort" || obj.Name() != "SearchFloat64s" {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"sort.SearchFloat64s outside an approved eps helper: its ≥ probe drops values within ε of the boundary (the PR 3 groupRange bug); wrap the search in a helper that widens by belief.Epsilon")
+}
+
+func isFloat(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}

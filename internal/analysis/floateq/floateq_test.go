@@ -1,0 +1,15 @@
+package floateq
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestFixture(t *testing.T) {
+	const fixture = "repro/internal/analysis/testdata/src/floateqtest"
+	Packages[fixture] = true
+	defer delete(Packages, fixture)
+	analysistest.Run(t, "../testdata/src/floateqtest", []*analysis.Analyzer{Analyzer}, nil)
+}

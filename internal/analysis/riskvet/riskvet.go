@@ -1,0 +1,55 @@
+// Package riskvet assembles the repo's analyzer suite and maps each
+// analyzer onto the packages whose conventions it enforces. cmd/riskvet is
+// a thin shell around this package; the tests drive it directly.
+package riskvet
+
+import (
+	"go/token"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/ctxbudget"
+	"repro/internal/analysis/detrand"
+	"repro/internal/analysis/errcmp"
+	"repro/internal/analysis/floateq"
+)
+
+// Analyzers is the full suite in reporting order.
+var Analyzers = []*analysis.Analyzer{
+	ctxbudget.Analyzer,
+	detrand.Analyzer,
+	errcmp.Analyzer,
+	floateq.Analyzer,
+}
+
+// Names returns the analyzer names plus the driver's own "suppress" check,
+// the set //lint:allow comments may legally name.
+func Names() []string {
+	names := []string{"suppress"}
+	for _, a := range Analyzers {
+		names = append(names, a.Name)
+	}
+	return names
+}
+
+// AnalyzersFor selects the suite for one package. Scoping lives in each
+// analyzer (ctxbudget.RoleOf, detrand.Packages, ...): every analyzer is
+// offered every package and cheaply no-ops outside its scope, so the
+// mapping here stays trivially correct as packages are added.
+func AnalyzersFor(importPath string) []*analysis.Analyzer {
+	return Analyzers
+}
+
+// Check loads the patterns relative to dir and returns the suite's
+// unsuppressed diagnostics.
+func Check(dir string, patterns ...string) ([]analysis.Diagnostic, *token.FileSet, error) {
+	pkgs, err := analysis.Load(dir, patterns...)
+	if err != nil {
+		return nil, nil, err
+	}
+	var fset *token.FileSet
+	if len(pkgs) > 0 {
+		fset = pkgs[0].Fset
+	}
+	diags, err := analysis.Run(pkgs, AnalyzersFor, Names())
+	return diags, fset, err
+}

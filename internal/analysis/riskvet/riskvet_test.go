@@ -1,0 +1,56 @@
+package riskvet
+
+import (
+	"os/exec"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestSuppressionLedger(t *testing.T) {
+	analysistest.Run(t, "../testdata/src/suppresstest", Analyzers, Names())
+}
+
+func TestCleanFixture(t *testing.T) {
+	diags, fset, err := Check("../testdata/src/cleanpkg", ".")
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("clean fixture got diagnostic: %s", analysis.Format(fset, d))
+	}
+}
+
+func TestNames(t *testing.T) {
+	want := map[string]bool{
+		"suppress": true, "ctxbudget": true, "detrand": true,
+		"errcmp": true, "floateq": true,
+	}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v, want the %d suite checks", got, len(want))
+	}
+	for _, n := range got {
+		if !want[n] {
+			t.Errorf("Names() includes unexpected check %q", n)
+		}
+	}
+}
+
+// TestBinarySmoke builds cmd/riskvet and runs it on the clean fixture: the
+// shipped gate must exit zero where the library reports nothing.
+func TestBinarySmoke(t *testing.T) {
+	bin := filepath.Join(t.TempDir(), "riskvet")
+	build := exec.Command("go", "build", "-o", bin, "repro/cmd/riskvet")
+	build.Dir = "../../.."
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building cmd/riskvet: %v\n%s", err, out)
+	}
+	run := exec.Command(bin, "./internal/analysis/testdata/src/cleanpkg")
+	run.Dir = "../../.."
+	if out, err := run.CombinedOutput(); err != nil {
+		t.Fatalf("riskvet on clean fixture exited non-zero: %v\n%s", err, out)
+	}
+}

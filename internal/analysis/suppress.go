@@ -1,0 +1,108 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// An Allow is one parsed //lint:allow suppression comment.
+//
+// The grammar is
+//
+//	//lint:allow <check> <reason...>
+//
+// and the comment suppresses diagnostics of analyzer <check> reported on the
+// comment's own line or on the line immediately below it (so both the
+// inline and the comment-above idioms work). The reason is mandatory: a
+// suppression without a recorded justification fails the gate, as does a
+// stale suppression that no longer matches any diagnostic — otherwise
+// allows would accrete long after the code they excused is gone.
+type Allow struct {
+	File   string
+	Line   int
+	Check  string
+	Reason string
+	Pos    token.Pos
+
+	used bool
+}
+
+const allowPrefix = "//lint:allow"
+
+// collectAllows parses every //lint:allow comment in the package's files.
+func collectAllows(pkg *Package) []*Allow {
+	var allows []*Allow
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, allowPrefix))
+				check, reason, _ := strings.Cut(rest, " ")
+				pos := pkg.Fset.Position(c.Pos())
+				allows = append(allows, &Allow{
+					File:   pos.Filename,
+					Line:   pos.Line,
+					Check:  check,
+					Reason: strings.TrimSpace(reason),
+					Pos:    c.Pos(),
+				})
+			}
+		}
+	}
+	return allows
+}
+
+// applyAllows filters diags through the package's suppression comments and
+// appends a diagnostic for every malformed, unknown-check, or stale allow.
+// known maps analyzer names that ran on this package to true.
+func applyAllows(pkg *Package, diags []Diagnostic, allows []*Allow, known map[string]bool) []Diagnostic {
+	var kept []Diagnostic
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		suppressed := false
+		for _, a := range allows {
+			if a.Check != d.Check || a.File != pos.Filename {
+				continue
+			}
+			// Inline (same line) or comment-above (line directly before).
+			if a.Line == pos.Line || a.Line == pos.Line-1 {
+				a.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	for _, a := range allows {
+		switch {
+		case a.Check == "":
+			kept = append(kept, Diagnostic{
+				Pos:     a.Pos,
+				Check:   "suppress",
+				Message: "malformed //lint:allow: want //lint:allow <check> <reason>",
+			})
+		case !known[a.Check]:
+			kept = append(kept, Diagnostic{
+				Pos:     a.Pos,
+				Check:   "suppress",
+				Message: "//lint:allow names unknown check " + a.Check,
+			})
+		case a.Reason == "":
+			kept = append(kept, Diagnostic{
+				Pos:     a.Pos,
+				Check:   "suppress",
+				Message: "//lint:allow " + a.Check + " has no reason; a suppression must say why",
+			})
+		case !a.used:
+			kept = append(kept, Diagnostic{
+				Pos:     a.Pos,
+				Check:   "suppress",
+				Message: "stale //lint:allow " + a.Check + ": no diagnostic on this or the next line; delete it",
+			})
+		}
+	}
+	return kept
+}

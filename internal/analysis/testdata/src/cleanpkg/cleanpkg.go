@@ -1,0 +1,22 @@
+// Package cleanpkg is a trivially clean fixture: the smoke tests assert the
+// suite (and the cmd/riskvet binary) report nothing here and exit zero.
+package cleanpkg
+
+import "errors"
+
+// ErrClean is matched correctly everywhere.
+var ErrClean = errors.New("cleanpkg: clean")
+
+// Sum is a single linear pass.
+func Sum(xs []int) int {
+	s := 0
+	for _, v := range xs {
+		s += v
+	}
+	return s
+}
+
+// IsClean uses errors.Is on the sentinel.
+func IsClean(err error) bool {
+	return errors.Is(err, ErrClean)
+}

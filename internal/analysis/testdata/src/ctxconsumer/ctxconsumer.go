@@ -1,0 +1,30 @@
+// Package ctxconsumer is the ctxbudget consumer fixture: tests register it
+// in ctxbudget.Consumers (and ctxtest in Providers) before running the
+// analyzer.
+package ctxconsumer
+
+import (
+	"context"
+
+	"repro/internal/analysis/testdata/src/ctxtest"
+)
+
+// Handle forfeits its request context by calling the non-Ctx variant.
+func Handle(ctx context.Context, rows [][]int) (int, error) {
+	bad := ctxtest.Blessed(rows) // want `ctxtest\.Blessed has a BlessedCtx variant`
+	good, err := ctxtest.BlessedCtx(ctx, rows)
+	return bad + good, err
+}
+
+// HandleMethod does the same through a method call.
+func HandleMethod(ctx context.Context, t *ctxtest.Table) (int, error) {
+	bad := t.Scan() // want `ctxtest\.Scan has a ScanCtx variant`
+	good, err := t.ScanCtx(ctx)
+	return bad + good, err
+}
+
+// NoSibling calls a provider function that has no Ctx variant; nothing to
+// prefer, nothing flagged.
+func NoSibling(rows [][]int) int {
+	return ctxtest.HeavySweep(rows)
+}

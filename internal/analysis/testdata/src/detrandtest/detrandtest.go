@@ -1,0 +1,85 @@
+// Package detrandtest is the detrand fixture: tests register it in
+// detrand.Packages before running the analyzer.
+package detrandtest
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Wallclock observes the wall clock.
+func Wallclock() int64 {
+	t := time.Now() // want `time\.Now in a deterministic package`
+	return t.UnixNano()
+}
+
+// Elapsed measures with time.Since, which calls time.Now.
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time\.Since in a deterministic package`
+}
+
+// GlobalStream draws from the process-global source.
+func GlobalStream() int {
+	return rand.Intn(10) // want `global rand\.Intn draws from the process-wide stream`
+}
+
+// WallclockSeed defeats reproducibility at the root. The embedded time.Now
+// is part of this finding, not a second one.
+func WallclockSeed() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `rand\.NewSource seeded from the wall clock`
+}
+
+// FixedSeed builds a deterministic per-item generator: the sanctioned shape.
+func FixedSeed(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Draw uses a *rand.Rand method, not the global stream.
+func Draw(rng *rand.Rand) float64 {
+	return rng.Float64()
+}
+
+// FloatAccum lets map order reach a float sum: addition is not associative.
+func FloatAccum(m map[int]float64) float64 {
+	s := 0.0
+	for _, v := range m { // want `map iteration order can reach an output`
+		s += v
+	}
+	return s
+}
+
+// Collect appends in iteration order.
+func Collect(m map[int]int) []int {
+	var out []int
+	for k := range m { // want `map iteration order can reach an output`
+		out = append(out, k)
+	}
+	return out
+}
+
+// CountSet only does commutative integer updates: order free.
+func CountSet(m map[int]int, keep map[int]bool) int {
+	n := 0
+	for k, v := range m {
+		if !keep[k] {
+			continue
+		}
+		n += v
+	}
+	return n
+}
+
+// Invert writes a map keyed by the (unique) iterated keys: order free.
+func Invert(m map[int]int) map[int]int {
+	out := make(map[int]int, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// Suppressed shows the ledger idiom: the violation is deliberate, reasoned,
+// and visible to the gate.
+func Suppressed() time.Time {
+	return time.Now() //lint:allow detrand fixture demonstrates a justified suppression
+}

@@ -1,0 +1,77 @@
+// Package errcmptest is the errcmp fixture. errcmp scopes by module prefix,
+// so the fixture's own package-level sentinel is in scope without any test
+// wiring.
+package errcmptest
+
+import (
+	"context"
+	"errors"
+)
+
+// ErrBoom is a package-level sentinel of this module: wrap-prone.
+var ErrBoom = errors.New("errcmptest: boom")
+
+// Result is a provenance-bearing struct (Degraded/DegradedReason pair plus
+// the cascade's Method tier record).
+type Result struct {
+	Method         string
+	Value          float64
+	Degraded       bool
+	DegradedReason string
+}
+
+// Identity compares the sentinel by identity, which wrapped errors defeat.
+func Identity(err error) bool {
+	return err == ErrBoom // want `errcmptest\.ErrBoom compared with ==`
+}
+
+// CtxCompare does the same with a context sentinel.
+func CtxCompare(err error) bool {
+	return err != context.Canceled // want `context\.Canceled compared with !=`
+}
+
+// Wrapped is the correct form.
+func Wrapped(err error) bool {
+	return errors.Is(err, ErrBoom)
+}
+
+// StdlibSentinel is out of scope: not our module, not context.
+func StdlibSentinel(err error) bool {
+	return err == errors.ErrUnsupported
+}
+
+// BadLit drops both the reason and the tier from a degraded result.
+func BadLit() Result {
+	return Result{Degraded: true} // want `sets Degraded but drops DegradedReason` `sets Degraded but drops Method`
+}
+
+// GoodLit keeps full provenance.
+func GoodLit(reason string) Result {
+	return Result{Method: "oestimate", Degraded: true, DegradedReason: reason}
+}
+
+// CleanLit never claims degradation, so it owes no provenance.
+func CleanLit(v float64) Result {
+	return Result{Method: "exact", Value: v}
+}
+
+// BadAssign marks a result degraded but never says why.
+func BadAssign(r *Result) {
+	r.Degraded = true // want `r\.Degraded is set but r\.DegradedReason is never assigned`
+}
+
+// GoodAssign records the reason alongside the flag.
+func GoodAssign(r *Result, reason string) {
+	r.Degraded = true
+	r.DegradedReason = reason
+}
+
+// ClearAssign clears the flag; clearing needs no reason.
+func ClearAssign(r *Result) {
+	r.Degraded = false
+}
+
+// CopyAssign copies provenance wholesale from another result.
+func CopyAssign(dst, src *Result) {
+	dst.Degraded = src.Degraded
+}

@@ -1,0 +1,49 @@
+// Package floateqtest is the floateq fixture: tests register it in
+// floateq.Packages before running the analyzer.
+package floateqtest
+
+import "sort"
+
+const eps = 1e-12
+
+// ExactEqual compares frequencies exactly.
+func ExactEqual(a, b float64) bool {
+	return a == b // want `== on float64 values`
+}
+
+// ExactNotEqual is the != form.
+func ExactNotEqual(a, b float64) bool {
+	return a != b // want `!= on float64 values`
+}
+
+// IsNaN is the portable NaN self-test; it cannot be off by ε.
+func IsNaN(x float64) bool {
+	return x != x
+}
+
+// Probe binary-searches frequencies without ε-widening.
+func Probe(freqs []float64, f float64) int {
+	return sort.SearchFloat64s(freqs, f) // want `sort\.SearchFloat64s outside an approved eps helper`
+}
+
+// EqualEps carries an approved helper name: the one place exact float
+// comparison may live.
+func EqualEps(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= eps || a == b
+}
+
+// groupRange is likewise approved.
+func groupRange(freqs []float64, lo, hi float64) (int, int) {
+	l := sort.SearchFloat64s(freqs, lo-eps)
+	h := sort.Search(len(freqs), func(i int) bool { return freqs[i] > hi+eps }) - 1
+	return l, h
+}
+
+// IntEqual compares integers; no ε involved.
+func IntEqual(a, b int) bool {
+	return a == b
+}

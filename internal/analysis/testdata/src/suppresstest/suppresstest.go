@@ -1,0 +1,21 @@
+// Package suppresstest exercises the suppression ledger's self-checks: the
+// driver reports allows that are stale, name unknown checks, lack a reason,
+// or are malformed. The want markers sit one line above because these
+// diagnostics anchor on the allow comments themselves.
+package suppresstest
+
+// want+1 `stale //lint:allow detrand`
+//lint:allow detrand nothing on this or the next line needs excusing
+var A = 1
+
+// want+1 `names unknown check nosuchcheck`
+//lint:allow nosuchcheck the check does not exist
+var B = 2
+
+// want+1 `//lint:allow detrand has no reason`
+//lint:allow detrand
+var C = 3
+
+// want+1 `malformed //lint:allow`
+//lint:allow
+var D = 4

@@ -74,7 +74,7 @@ func distinctFreqs(freqs []float64) []float64 {
 	sort.Float64s(s)
 	out := s[:0]
 	for i, f := range s {
-		if i == 0 || f != out[len(out)-1] {
+		if i == 0 || !EqualEps(f, out[len(out)-1]) {
 			out = append(out, f)
 		}
 	}

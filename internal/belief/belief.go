@@ -24,6 +24,14 @@ import (
 // (e.g. f - δ + δ ≠ f).
 const Epsilon = 1e-12
 
+// EqualEps reports whether two frequencies are equal up to Epsilon. It is the
+// approved way to compare float64 frequencies — direct == or != on observed
+// frequencies breaks when exact rationals count/m pass through interval
+// arithmetic.
+func EqualEps(a, b float64) bool {
+	return math.Abs(a-b) <= Epsilon
+}
+
 // Interval is a closed frequency range [Lo, Hi] with 0 ≤ Lo ≤ Hi ≤ 1.
 type Interval struct {
 	Lo, Hi float64

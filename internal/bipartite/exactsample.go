@@ -1,9 +1,12 @@
 package bipartite
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 	"math/rand"
+
+	"repro/internal/budget"
 )
 
 // ExactSampler draws perfect matchings of a small explicit graph EXACTLY
@@ -20,8 +23,19 @@ type ExactSampler struct {
 // NewExactSampler precomputes the completion-count table. It returns
 // ErrInfeasible when the graph has no perfect matching.
 func NewExactSampler(e *Explicit) (*ExactSampler, error) {
+	return NewExactSamplerCtx(context.Background(), e)
+}
+
+// NewExactSamplerCtx is NewExactSampler under a work budget: one operation
+// per dp entry, so building the O(2^n) table — the single most expensive
+// allocation in the exact tier — respects deadlines and operation limits.
+func NewExactSamplerCtx(ctx context.Context, e *Explicit) (*ExactSampler, error) {
 	if e.N > MaxExactN {
 		return nil, fmt.Errorf("bipartite: exact sampling needs n <= %d, got %d", MaxExactN, e.N)
+	}
+	bud := budget.New(ctx, budget.Config{})
+	if err := bud.Check(); err != nil {
+		return nil, err
 	}
 	n := e.N
 	size := 1 << uint(n)
@@ -30,6 +44,9 @@ func NewExactSampler(e *Explicit) (*ExactSampler, error) {
 	dp := make([]*big.Int, size)
 	dp[0] = big.NewInt(1)
 	for s := 1; s < size; s++ {
+		if err := bud.Charge(1); err != nil {
+			return nil, fmt.Errorf("bipartite: exact sampler table: %w", err)
+		}
 		row := popcount(uint(s)) - 1
 		acc := new(big.Int)
 		for _, x := range e.Adj[row] {
@@ -59,6 +76,8 @@ func (s *ExactSampler) Count() *big.Int {
 // finish after assigning x to w, so drawing x with probability
 // dp[rem ^ bit(x)] / dp[rem] yields the exact uniform distribution by the
 // chain rule.
+//
+//lint:allow ctxbudget a draw is at most n·deg big-int steps with n ≤ MaxExactN; the 2^n cost lives in NewExactSamplerCtx
 func (s *ExactSampler) Sample(rng *rand.Rand) []int {
 	n := s.e.N
 	match := make([]int, n)

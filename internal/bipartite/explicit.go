@@ -1,8 +1,11 @@
 package bipartite
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+
+	"repro/internal/budget"
 )
 
 // Explicit is an explicit bipartite graph over n anonymized items (left) and
@@ -18,6 +21,8 @@ type Explicit struct {
 // NewExplicit builds an explicit graph from raw adjacency lists. Lists are
 // copied; vertex ids must be in [0, n) and rows must not repeat an edge
 // (duplicates would corrupt degree-based algorithms like propagation).
+//
+//lint:allow ctxbudget one linear validation pass over the edge list; no superlinear work
 func NewExplicit(n int, adj [][]int) (*Explicit, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("bipartite: explicit graph size %d, want > 0", n)
@@ -53,6 +58,8 @@ func MustExplicit(n int, adj [][]int) *Explicit {
 
 // ToExplicit expands the compact graph into explicit adjacency lists.
 // The edge set can be quadratic; intended for small domains only.
+//
+//lint:allow ctxbudget a straight copy bounded by the output edge set it allocates anyway
 func (g *Graph) ToExplicit() *Explicit {
 	n := g.Items()
 	e := &Explicit{N: n, Adj: make([][]int, n)}
@@ -89,6 +96,8 @@ func (e *Explicit) NumEdges() int {
 // Minor returns the graph with left vertex w and right vertex x removed,
 // relabeling remaining vertices to stay dense. It is the building block of
 // the permanent-minor expansion used for exact expected cracks.
+//
+//lint:allow ctxbudget a straight copy of the edge list; the exponential caller (permanent) is budgeted
 func (e *Explicit) Minor(w, x int) *Explicit {
 	m := &Explicit{N: e.N - 1, Adj: make([][]int, e.N-1)}
 	ri := 0
@@ -112,6 +121,8 @@ func (e *Explicit) Minor(w, x int) *Explicit {
 }
 
 // DeleteEdge returns a copy of the graph with the edge (w′, x) removed.
+//
+//lint:allow ctxbudget a straight copy of the edge list; the exponential caller (permanent) is budgeted
 func (e *Explicit) DeleteEdge(w, x int) *Explicit {
 	m := &Explicit{N: e.N, Adj: make([][]int, e.N)}
 	for i := 0; i < e.N; i++ {
@@ -143,6 +154,8 @@ func Complete(n int) *Explicit {
 // each edge appears independently with probability p, always including the
 // diagonal (w′, w) so that the identity matching exists (i.e. the graph is
 // "compliant"). Used by property tests to cross-validate estimators.
+//
+//lint:allow ctxbudget test-data generator over n² coin flips, used on tiny n by property tests
 func RandomExplicit(n int, p float64, rng *rand.Rand) *Explicit {
 	e := &Explicit{N: n, Adj: make([][]int, n)}
 	for w := 0; w < n; w++ {
@@ -159,7 +172,20 @@ func RandomExplicit(n int, p float64, rng *rand.Rand) *Explicit {
 // algorithm, returning (size, matchL, matchR) where matchL[w] is the item
 // matched to anonymized item w (or -1) and matchR[x] the reverse.
 func (e *Explicit) MaximumMatching() (int, []int, []int) {
+	size, matchL, matchR, _ := e.MaximumMatchingCtx(context.Background())
+	return size, matchL, matchR
+}
+
+// MaximumMatchingCtx is MaximumMatching under a work budget, charging one
+// phase's worth of edge scans per Hopcroft–Karp phase (there are at most
+// O(√n) of them, but each touches every edge).
+func (e *Explicit) MaximumMatchingCtx(ctx context.Context) (int, []int, []int, error) {
 	const inf = int(^uint(0) >> 1)
+	bud := budget.New(ctx, budget.Config{})
+	phaseCost := int64(e.NumEdges() + e.N + 1)
+	if err := bud.Check(); err != nil {
+		return 0, nil, nil, err
+	}
 	matchL := make([]int, e.N)
 	matchR := make([]int, e.N)
 	for i := range matchL {
@@ -210,13 +236,16 @@ func (e *Explicit) MaximumMatching() (int, []int, []int) {
 
 	size := 0
 	for bfs() {
+		if err := bud.Charge(phaseCost); err != nil {
+			return 0, nil, nil, fmt.Errorf("bipartite: maximum matching: %w", err)
+		}
 		for w := 0; w < e.N; w++ {
 			if matchL[w] == -1 && dfs(w) {
 				size++
 			}
 		}
 	}
-	return size, matchL, matchR
+	return size, matchL, matchR, nil
 }
 
 // HasPerfectMatching reports whether a perfect matching exists.

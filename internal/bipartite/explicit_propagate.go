@@ -1,5 +1,12 @@
 package bipartite
 
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/budget"
+)
+
 // Propagate runs the degree-1 propagation of Figure 7 on an explicit graph:
 // any vertex (on either side) with exactly one remaining neighbour has its
 // edge in every perfect matching; the pair is removed and degrees updated, to
@@ -8,7 +15,18 @@ package bipartite
 // Section 8.1. ErrInfeasible is returned when a vertex runs out of
 // neighbours (or starts with none).
 func (e *Explicit) Propagate() (*Propagation, error) {
+	return e.PropagateCtx(context.Background())
+}
+
+// PropagateCtx is Propagate under a work budget: one operation per worklist
+// pop (each pop rescans one vertex's adjacency), so a pathological cascade
+// over a dense explicit graph can be cut off by a deadline or op limit.
+func (e *Explicit) PropagateCtx(ctx context.Context) (*Propagation, error) {
 	n := e.N
+	bud := budget.New(ctx, budget.Config{})
+	if err := bud.Check(); err != nil {
+		return nil, err
+	}
 	aliveL := make([]bool, n) // anonymized side
 	aliveR := make([]bool, n) // original side
 	degL := make([]int, n)
@@ -64,6 +82,9 @@ func (e *Explicit) Propagate() (*Propagation, error) {
 	}
 
 	for len(queue) > 0 {
+		if err := bud.Charge(1); err != nil {
+			return nil, fmt.Errorf("bipartite: explicit propagation: %w", err)
+		}
 		enc := queue[0]
 		queue = queue[1:]
 		if enc < n {

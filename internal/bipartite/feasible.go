@@ -2,7 +2,11 @@ package bipartite
 
 import (
 	"container/heap"
+	"context"
+	"fmt"
 	"sort"
+
+	"repro/internal/budget"
 )
 
 // itemHeap is a min-heap of items keyed by the upper end of their group
@@ -33,8 +37,19 @@ func (h *itemHeap) Pop() interface{} {
 // sampler when the identity matching is inconsistent (α < 1 belief
 // functions).
 func (g *Graph) PerfectMatching() ([]int, error) {
+	return g.PerfectMatchingCtx(context.Background())
+}
+
+// PerfectMatchingCtx is PerfectMatching under a work budget: one operation
+// per heap push/pop, so the O(n log n) greedy respects deadlines when n is
+// web-scale even though it never does superlinear work.
+func (g *Graph) PerfectMatchingCtx(ctx context.Context) ([]int, error) {
 	n := g.Items()
 	k := g.NumGroups()
+	bud := budget.New(ctx, budget.Config{})
+	if err := bud.Check(); err != nil {
+		return nil, err
+	}
 	order := make([]int, n)
 	for x := range order {
 		order[x] = x
@@ -58,6 +73,9 @@ func (g *Graph) PerfectMatching() ([]int, error) {
 			next++
 		}
 		for _, w := range g.GroupItems[gi] {
+			if err := bud.Charge(1); err != nil {
+				return nil, fmt.Errorf("bipartite: perfect matching: %w", err)
+			}
 			if h.Len() == 0 {
 				return nil, ErrInfeasible
 			}

@@ -36,6 +36,8 @@ type Graph struct {
 // Build constructs the graph from a belief function and the grouping of the
 // (anonymized) database. The belief function and grouping must share the same
 // domain size.
+//
+//lint:allow ctxbudget O(n log n) construction that even the cascade's floor tier cannot skip
 func Build(bf *belief.Function, gr *dataset.Grouping) (*Graph, error) {
 	n := gr.NumItems()
 	if bf.Items() != n {

@@ -1,6 +1,12 @@
 package bipartite
 
-import "errors"
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/budget"
+)
 
 // ErrInfeasible is returned when propagation proves that the graph admits no
 // perfect matching (no consistent crack mapping exists).
@@ -43,8 +49,20 @@ func (p *Propagation) ForcedCracks() int {
 // reaches 0 or a group has fewer covering items than members — situations
 // that can arise with α-compliant (partially wrong) belief functions.
 func (g *Graph) Propagate() (*Propagation, error) {
+	return g.PropagateCtx(context.Background())
+}
+
+// PropagateCtx is Propagate under a work budget: one operation per item (or
+// group) examined per round, so the Figure 6(a) worst case — v rounds each
+// touching v items — can be interrupted by a deadline or operation limit
+// instead of running quadratically to completion.
+func (g *Graph) PropagateCtx(ctx context.Context) (*Propagation, error) {
 	n := g.Items()
 	k := g.NumGroups()
+	bud := budget.New(ctx, budget.Config{})
+	if err := bud.Check(); err != nil {
+		return nil, err
+	}
 
 	sizeF := newFenwick(k)         // remaining anonymized items per group
 	coverF := newRangeFenwick(k)   // active items covering each group
@@ -98,6 +116,9 @@ func (g *Graph) Propagate() (*Propagation, error) {
 		changed := false
 		// Item side: degree-1 items are forced to their unique candidate.
 		for x := 0; x < n; x++ {
+			if err := bud.Charge(1); err != nil {
+				return nil, fmt.Errorf("bipartite: propagation: %w", err)
+			}
 			if !active[x] {
 				continue
 			}
@@ -119,6 +140,9 @@ func (g *Graph) Propagate() (*Propagation, error) {
 		}
 		// Anonymized side: a group whose members have a single candidate.
 		for gi := 0; gi < k; gi++ {
+			if err := bud.Charge(1); err != nil {
+				return nil, fmt.Errorf("bipartite: propagation: %w", err)
+			}
 			c := len(live[gi])
 			if c == 0 {
 				continue

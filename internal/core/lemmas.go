@@ -50,6 +50,8 @@ func ExpectedCracksPointValued(gr *dataset.Grouping) float64 {
 // the items of interest under the compliant point-valued belief function
 // (Lemma 4): Σ_i c_i/n_i, where c_i counts interesting items in frequency
 // group i of size n_i. interest[x] marks the items the owner cares about.
+//
+//lint:allow ctxbudget one O(n) pass over the grouping; closed-form Lemma 4 arithmetic
 func ExpectedCracksPointValuedSubset(gr *dataset.Grouping, interest []bool) (float64, error) {
 	if len(interest) != gr.NumItems() {
 		return 0, fmt.Errorf("core: interest mask has %d entries, want %d", len(interest), gr.NumItems())

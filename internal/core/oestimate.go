@@ -118,7 +118,7 @@ func OEstimateGraphCtx(ctx context.Context, g *bipartite.Graph, opts OEOptions) 
 		return res, nil
 	}
 
-	p, err := g.Propagate()
+	p, err := g.PropagateCtx(ctx)
 	if err != nil {
 		return nil, err
 	}

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/bipartite"
+	"repro/internal/budget"
 )
 
 // OEstimateExplicit computes the O-estimate on an explicit bipartite graph —
@@ -12,6 +14,13 @@ import (
 // information, OE = Σ 1/O_x over the items whose own anonymized counterpart
 // remains reachable. Options behave as in OEstimateGraph.
 func OEstimateExplicit(e *bipartite.Explicit, opts OEOptions) (*OEResult, error) {
+	return OEstimateExplicitCtx(context.Background(), e, opts)
+}
+
+// OEstimateExplicitCtx is OEstimateExplicit under a work budget, mirroring
+// OEstimateGraphCtx: one operation per edge scanned plus the propagation's
+// own charges.
+func OEstimateExplicitCtx(ctx context.Context, e *bipartite.Explicit, opts OEOptions) (*OEResult, error) {
 	n := e.N
 	if opts.Mask != nil && len(opts.Mask) != n {
 		return nil, fmt.Errorf("core: mask has %d entries, want %d", len(opts.Mask), n)
@@ -20,11 +29,18 @@ func OEstimateExplicit(e *bipartite.Explicit, opts OEOptions) (*OEResult, error)
 		return nil, fmt.Errorf("core: interest mask has %d entries, want %d", len(opts.Interest), n)
 	}
 	counted := func(x int) bool { return opts.Interest == nil || opts.Interest[x] }
+	bud := budget.New(ctx, budget.Config{CheckEvery: 4096})
+	if err := bud.Check(); err != nil {
+		return nil, err
+	}
 	res := &OEResult{Crackable: make([]bool, n)}
 
 	indeg := make([]int, n)
 	diag := make([]bool, n)
 	for w := 0; w < n; w++ {
+		if err := bud.Charge(int64(len(e.Adj[w]) + 1)); err != nil {
+			return nil, fmt.Errorf("core: explicit O-estimate: %w", err)
+		}
 		for _, x := range e.Adj[w] {
 			indeg[x]++
 			if w == x {
@@ -47,7 +63,7 @@ func OEstimateExplicit(e *bipartite.Explicit, opts OEOptions) (*OEResult, error)
 		return res, nil
 	}
 
-	p, err := e.Propagate()
+	p, err := e.PropagateCtx(ctx)
 	if err != nil {
 		return nil, err
 	}

@@ -28,9 +28,11 @@
 package itemsetrisk
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
+	"repro/internal/budget"
 	"repro/internal/dataset"
 	"repro/internal/fim"
 )
@@ -51,16 +53,30 @@ func pairKey(x, y int) uint64 {
 // ComputePairs counts pairwise co-occurrences in one database pass. The cost
 // is Σ_t |t|², so it is meant for the small and mid-size benchmarks.
 func ComputePairs(db *dataset.Database) *PairTable {
+	pt, _ := ComputePairsCtx(context.Background(), db)
+	return pt
+}
+
+// ComputePairsCtx is ComputePairs under a work budget, charging the |t|²
+// pair enumerations of each transaction as it is scanned.
+func ComputePairsCtx(ctx context.Context, db *dataset.Database) (*PairTable, error) {
+	bud := budget.New(ctx, budget.Config{})
+	if err := bud.Check(); err != nil {
+		return nil, err
+	}
 	pt := &PairTable{n: db.Items(), counts: make(map[uint64]int)}
 	for i := 0; i < db.Transactions(); i++ {
 		tx := db.Transaction(i)
+		if err := bud.Charge(int64(len(tx)*(len(tx)-1)/2 + 1)); err != nil {
+			return nil, fmt.Errorf("itemsetrisk: pair counting: %w", err)
+		}
 		for a := 0; a < len(tx); a++ {
 			for b := a + 1; b < len(tx); b++ {
 				pt.counts[pairKey(int(tx[a]), int(tx[b]))]++
 			}
 		}
 	}
-	return pt
+	return pt, nil
 }
 
 // Items returns the domain size.
@@ -88,6 +104,13 @@ type Refinement struct {
 // pair supports as edge labels, for at most maxRounds rounds (0 means run to
 // the fixpoint, which takes at most n rounds).
 func Refine(ft *dataset.FrequencyTable, pairs *PairTable, maxRounds int) (*Refinement, error) {
+	return RefineCtx(context.Background(), ft, pairs, maxRounds)
+}
+
+// RefineCtx is Refine under a work budget: each round costs one operation per
+// item plus one per directed co-occurrence edge (signature construction
+// dominates, and its cost is exactly that sum).
+func RefineCtx(ctx context.Context, ft *dataset.FrequencyTable, pairs *PairTable, maxRounds int) (*Refinement, error) {
 	if pairs.Items() != ft.NItems {
 		return nil, fmt.Errorf("itemsetrisk: pair table over %d items, counts over %d", pairs.Items(), ft.NItems)
 	}
@@ -110,9 +133,18 @@ func Refine(ft *dataset.FrequencyTable, pairs *PairTable, maxRounds int) (*Refin
 		adj[y] = append(adj[y], [2]int{x, c})
 	}
 
+	bud := budget.New(ctx, budget.Config{})
+	if err := bud.Check(); err != nil {
+		return nil, err
+	}
+	roundCost := int64(n + 2*pairs.Pairs() + 1)
+
 	res := &Refinement{Colors: colors, Classes: classes}
 	classSize := make([]int, n+1)
 	for round := 0; round < maxRounds; round++ {
+		if err := bud.Charge(roundCost); err != nil {
+			return nil, fmt.Errorf("itemsetrisk: refinement round %d: %w", round, err)
+		}
 		for i := range classSize {
 			classSize[i] = 0
 		}

@@ -1,10 +1,12 @@
 package itemsetrisk
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/belief"
 	"repro/internal/bipartite"
+	"repro/internal/budget"
 )
 
 // PairBelief is the hacker's prior about one 2-itemset of the original
@@ -32,6 +34,14 @@ type PairBelief struct {
 // callers working in the identity-aligned id space can pass the original's
 // pair table.
 func PruneWithPairBeliefs(g *bipartite.Explicit, pairs *PairTable, nTransactions int, beliefs []PairBelief) (*bipartite.Explicit, int, error) {
+	return PruneWithPairBeliefsCtx(context.Background(), g, pairs, nTransactions, beliefs)
+}
+
+// PruneWithPairBeliefsCtx is PruneWithPairBeliefs under a work budget. Each
+// candidate-edge revision charges one operation per belief it must witness;
+// the AC-3 loop can revise an edge once per removal elsewhere, so the budget
+// is what bounds adversarially slow fixpoints.
+func PruneWithPairBeliefsCtx(ctx context.Context, g *bipartite.Explicit, pairs *PairTable, nTransactions int, beliefs []PairBelief) (*bipartite.Explicit, int, error) {
 	n := g.N
 	if pairs.Items() != n {
 		return nil, 0, fmt.Errorf("itemsetrisk: pair table over %d items, graph over %d", pairs.Items(), n)
@@ -62,6 +72,10 @@ func PruneWithPairBeliefs(g *bipartite.Explicit, pairs *PairTable, nTransactions
 	}
 	m := float64(nTransactions)
 	removed := 0
+	bud := budget.New(ctx, budget.Config{})
+	if err := bud.Check(); err != nil {
+		return nil, 0, err
+	}
 
 	supported := func(x, w int) bool {
 		// Every pair belief {x, y} needs a witness candidate for y.
@@ -92,6 +106,9 @@ func PruneWithPairBeliefs(g *bipartite.Explicit, pairs *PairTable, nTransactions
 				continue
 			}
 			for w := range cand[x] {
+				if err := bud.Charge(int64(len(perItem[x]) + 1)); err != nil {
+					return nil, 0, fmt.Errorf("itemsetrisk: pair-belief pruning: %w", err)
+				}
 				if !supported(x, w) {
 					delete(cand[x], w)
 					removed++

@@ -151,9 +151,9 @@ func AssessRiskCtx(ctx context.Context, ft *dataset.FrequencyTable, opts Options
 		AlphaMax:  1,
 		Workers:   parallel.Workers(ctx),
 	}
-	startWall, startCPU := time.Now(), parallel.CPUTime()
+	startWall, startCPU := time.Now(), parallel.CPUTime() //lint:allow detrand timing provenance only; Wall/CPU are excluded from determinism comparisons
 	defer func() {
-		res.Wall = time.Since(startWall)
+		res.Wall = time.Since(startWall) //lint:allow detrand timing provenance only; Wall/CPU are excluded from determinism comparisons
 		if startCPU > 0 {
 			res.CPU = parallel.CPUTime() - startCPU
 		}

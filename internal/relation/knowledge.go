@@ -2,6 +2,7 @@ package relation
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 
@@ -103,6 +104,8 @@ type PartialInfo map[int]*Knowledge
 // BuildGraph sets up the Section 8.1 bipartite graph: an edge connects
 // anonymized record w′ to individual x whenever w's released attribute
 // values are consistent with the hacker's knowledge about x.
+//
+//lint:allow ctxbudget n² consistency checks bounded by the explicit graph it allocates anyway; downstream estimators are budgeted
 func BuildGraph(r *Relation, info PartialInfo) *bipartite.Explicit {
 	n := r.Records()
 	adj := make([][]int, n)
@@ -133,10 +136,10 @@ func AssessDisclosure(r *Relation, info PartialInfo, exact bool) (*DisclosureRep
 func AssessDisclosureCtx(ctx context.Context, r *Relation, info PartialInfo, exact bool) (*DisclosureReport, error) {
 	g := BuildGraph(r, info)
 	rep := &DisclosureReport{Individuals: r.Records()}
-	oe, err := core.OEstimateExplicit(g, core.OEOptions{Propagate: true})
-	if err == bipartite.ErrInfeasible {
+	oe, err := core.OEstimateExplicitCtx(ctx, g, core.OEOptions{Propagate: true})
+	if errors.Is(err, bipartite.ErrInfeasible) {
 		rep.Infeasible = true
-		oe, err = core.OEstimateExplicit(g, core.OEOptions{})
+		oe, err = core.OEstimateExplicitCtx(ctx, g, core.OEOptions{})
 	}
 	if err != nil {
 		return nil, err
@@ -182,6 +185,8 @@ type DisclosureReport struct {
 // RandomRelation generates a population for tests and examples: each
 // attribute value is drawn independently from a Zipf-ish distribution over
 // the attribute's vocabulary.
+//
+//lint:allow ctxbudget test-data generator, linear in the n·|attrs| table it fills
 func RandomRelation(schema Schema, n int, rng *rand.Rand) (*Relation, error) {
 	rows := make([][]int, n)
 	names := make([]string, n)

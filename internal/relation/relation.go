@@ -66,6 +66,8 @@ type Relation struct {
 }
 
 // New validates and builds a relation. rows are copied.
+//
+//lint:allow ctxbudget one linear validation-and-copy pass over the input table
 func New(schema Schema, names []string, rows [][]int) (*Relation, error) {
 	if len(schema.Attrs) == 0 {
 		return nil, fmt.Errorf("relation: empty schema")
