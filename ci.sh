@@ -4,9 +4,11 @@
 #   ./ci.sh          vet + riskvet + build + race-enabled tests
 #   ./ci.sh -short   same, with -short tests plus brief fuzz runs of the
 #                    two parser fuzzers against their committed corpora
-#   ./ci.sh -bench   additionally run the parallel-engine benchmarks and
-#                    emit BENCH_parallel.json (ns/op per worker count and
-#                    speedup vs serial) to track the perf trajectory
+#   ./ci.sh -bench   additionally run the parallel-engine benchmarks at
+#                    GOMAXPROCS=1 and GOMAXPROCS=nproc and emit
+#                    BENCH_parallel.json (one run object per gomaxprocs
+#                    with ns/op and speedup vs serial per worker count)
+#                    to track the perf trajectory
 #   ./ci.sh -serve   additionally run the riskd serving smoke test
 #                    (ephemeral port, health probe, assess round-trip,
 #                    cached repeat, clean shutdown)
@@ -80,52 +82,68 @@ fi
 
 if [ -n "$bench" ]; then
 	echo "== parallel benchmarks =="
-	# Pin GOMAXPROCS explicitly so the run is reproducible; override with
-	# e.g. `GOMAXPROCS=8 ./ci.sh -bench` on a bigger box. The JSON records
-	# the value the benchmark process actually used — the testing package
-	# appends runtime.GOMAXPROCS(0) as the "-N" suffix of every benchmark
-	# name, and the awk below reads it from there rather than trusting the
-	# environment or nproc.
-	GOMAXPROCS="${GOMAXPROCS:-$(nproc 2>/dev/null || echo 1)}"
-	export GOMAXPROCS
-	go test -run '^$' -bench 'BenchmarkSamplerParallel|BenchmarkCurveParallel' -benchtime 1s . |
-		tee BENCH_parallel.txt |
-		awk '
-		/^Benchmark(Sampler|Curve)Parallel\// {
-			split($1, parts, "/")
-			sub(/Benchmark/, "", parts[1])
-			if (match(parts[2], /-[0-9]+$/)) {
-				gmp = substr(parts[2], RSTART + 1) + 0
-				parts[2] = substr(parts[2], 1, RSTART - 1)
-			}
-			sub(/workers=/, "", parts[2])
-			bench = parts[1]; workers = parts[2] + 0; ns = $3 + 0
-			nsop[bench "," workers] = ns
-			if (workers == 1) serial[bench] = ns
-			if (!(bench in seen)) { order[++n] = bench; seen[bench] = 1 }
-			ws[workers] = 1
-		}
-		END {
-			if (n == 0) { print "ci.sh: no benchmark output to parse" > "/dev/stderr"; exit 1 }
-			# The testing package omits the "-N" suffix exactly when
-			# runtime.GOMAXPROCS(0) == 1, so no captured suffix means 1.
-			if (gmp + 0 == 0) gmp = 1
-			printf "{\n  \"gomaxprocs\": %d,\n  \"benchmarks\": {", gmp + 0
-			for (i = 1; i <= n; i++) {
-				b = order[i]
-				printf "%s\n    \"%s\": {", (i > 1 ? "," : ""), b
-				first = 1
-				for (w = 1; w <= 8; w *= 2) {
-					if (!((b "," w) in nsop)) continue
-					sp = serial[b] > 0 ? serial[b] / nsop[b "," w] : 0
-					printf "%s\n      \"workers=%d\": {\"ns_per_op\": %.0f, \"speedup_vs_serial\": %.3f}", \
-						(first ? "" : ","), w, nsop[b "," w], sp
-					first = 0
+	# Measure at GOMAXPROCS=1 (the serial kernel's speed and the baseline
+	# every speedup divides by) AND at GOMAXPROCS=nproc (real multi-core
+	# scaling). Speedup-vs-serial recorded at a single GOMAXPROCS=1 run is
+	# meaningless — every worker count times the same one-core schedule —
+	# which is how the pre-flat-kernel numbers could claim "no parallel
+	# speedup" without ever running on more than one core. On a one-core
+	# machine the two settings coincide and a single run is recorded.
+	# The JSON records the gomaxprocs each benchmark process actually used:
+	# the testing package appends runtime.GOMAXPROCS(0) as the "-N" suffix
+	# of every benchmark name, and the awk below reads it from there rather
+	# than trusting the environment or nproc.
+	nproc_val="$(nproc 2>/dev/null || echo 1)"
+	gmps="1"
+	if [ "$nproc_val" -gt 1 ]; then
+		gmps="1 $nproc_val"
+	fi
+	printf '{\n  "machine_nproc": %s,\n  "runs": [' "$nproc_val" >BENCH_parallel.tmp
+	first_run=1
+	for gmp in $gmps; do
+		[ "$first_run" -eq 1 ] || printf ',' >>BENCH_parallel.tmp
+		first_run=0
+		echo "-- GOMAXPROCS=$gmp --"
+		GOMAXPROCS=$gmp go test -run '^$' -bench 'BenchmarkSamplerParallel|BenchmarkCurveParallel' -benchtime 1s . |
+			tee BENCH_parallel.txt |
+			awk '
+			/^Benchmark(Sampler|Curve)Parallel\// {
+				split($1, parts, "/")
+				sub(/Benchmark/, "", parts[1])
+				if (match(parts[2], /-[0-9]+$/)) {
+					gmp = substr(parts[2], RSTART + 1) + 0
+					parts[2] = substr(parts[2], 1, RSTART - 1)
 				}
-				printf "\n    }"
+				sub(/workers=/, "", parts[2])
+				bench = parts[1]; workers = parts[2] + 0; ns = $3 + 0
+				nsop[bench "," workers] = ns
+				if (workers == 1) serial[bench] = ns
+				if (!(bench in seen)) { order[++n] = bench; seen[bench] = 1 }
 			}
-			printf "\n  }\n}\n"
-		}' >BENCH_parallel.json
+			END {
+				if (n == 0) { print "ci.sh: no benchmark output to parse" > "/dev/stderr"; exit 1 }
+				# The testing package omits the "-N" suffix exactly when
+				# runtime.GOMAXPROCS(0) == 1, so no captured suffix means 1.
+				if (gmp + 0 == 0) gmp = 1
+				printf "\n    {\n      \"gomaxprocs\": %d,\n      \"benchmarks\": {", gmp + 0
+				for (i = 1; i <= n; i++) {
+					b = order[i]
+					printf "%s\n        \"%s\": {", (i > 1 ? "," : ""), b
+					first = 1
+					for (w = 1; w <= 8; w *= 2) {
+						if (!((b "," w) in nsop)) continue
+						sp = serial[b] > 0 ? serial[b] / nsop[b "," w] : 0
+						printf "%s\n          \"workers=%d\": {\"ns_per_op\": %.0f, \"speedup_vs_serial\": %.3f}", \
+							(first ? "" : ","), w, nsop[b "," w], sp
+						first = 0
+					}
+					printf "\n        }"
+				}
+				printf "\n      }\n    }"
+			}' >>BENCH_parallel.tmp
+	done
+	printf '\n  ]\n}\n' >>BENCH_parallel.tmp
+	mv BENCH_parallel.tmp BENCH_parallel.json
 	rm -f BENCH_parallel.txt
 	echo "wrote BENCH_parallel.json"
 fi

@@ -3,6 +3,7 @@
 // Usage:
 //
 //	experiments [-run id[,id...]] [-seed n] [-quick] [-timeout 5m] [-workers n] [-csv dir]
+//	            [-cpuprofile cpu.out] [-memprofile mem.out]
 //
 // With no -run flag every experiment executes in paper order. IDs: delta,
 // figure9, figure10, figure11, figure12, recipe, ablation, itemsets, kanon,
@@ -35,10 +36,16 @@ func main() {
 	timing := flag.Bool("timing", false, "print wall/CPU time per experiment to stderr")
 	budgetCtx := cliutil.BudgetFlags()
 	withWorkers := cliutil.WorkersFlag()
+	profile := cliutil.ProfileFlags()
 	flag.Parse()
 	ctx, cancel := budgetCtx()
 	defer cancel()
 	ctx = withWorkers(ctx)
+	stopProfile, err := profile()
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProfile()
 
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {

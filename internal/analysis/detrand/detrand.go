@@ -25,6 +25,13 @@
 //     float accumulation (addition is not associative), calls, sends —
 //     observes Go's randomized iteration order and must instead collect
 //     keys, sort, then iterate the slice.
+//  5. In the kernel packages (KernelPackages — the flat sampler hot path of
+//     DESIGN.md §11), even the otherwise-sanctioned *rand.Rand methods are
+//     forbidden inside loops: each call funnels through the Source interface
+//     and a 63-bit shim, which is exactly the overhead the flat kernel
+//     removed. Kernel loops draw from the whitelisted parallel.Stream
+//     (inlined SplitMix64 + Lemire bounded rejection); *rand.Rand may still
+//     appear outside loops, e.g. to draw the stream's seed once.
 package detrand
 
 import (
@@ -42,6 +49,14 @@ var Packages = map[string]bool{
 	"repro/internal/recipe":      true,
 	"repro/internal/experiments": true,
 	"repro/internal/parallel":    true,
+}
+
+// KernelPackages holds the import paths whose loops are flat-kernel hot
+// paths (rule 5): random draws inside them must come from parallel.Stream,
+// never from *rand.Rand. parallel itself is exempt — it implements Stream
+// and the *rand.Rand constructors the non-kernel packages use.
+var KernelPackages = map[string]bool{
+	"repro/internal/matching": true,
 }
 
 // globalRand is the set of math/rand top-level functions that draw from the
@@ -62,24 +77,82 @@ var Analyzer = &analysis.Analyzer{
 }
 
 func run(pass *analysis.Pass) error {
-	if !Packages[pass.Pkg.Path()] {
+	deterministic := Packages[pass.Pkg.Path()]
+	kernel := KernelPackages[pass.Pkg.Path()]
+	if !deterministic && !kernel {
 		return nil
 	}
 	// time.Now calls already reported as part of a wall-clock-seed
 	// diagnostic, so rule 1 does not double-report them.
 	consumed := map[ast.Node]bool{}
 	for _, f := range pass.Files {
+		var loops []loopSpan
+		if kernel {
+			loops = collectLoops(f)
+		}
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch nn := n.(type) {
 			case *ast.CallExpr:
-				checkCall(pass, nn, consumed)
+				if deterministic {
+					checkCall(pass, nn, consumed)
+				}
+				if kernel {
+					checkKernelCall(pass, nn, loops)
+				}
 			case *ast.RangeStmt:
-				checkMapRange(pass, nn)
+				if deterministic {
+					checkMapRange(pass, nn)
+				}
 			}
 			return true
 		})
 	}
 	return nil
+}
+
+// --- rule 5: *rand.Rand inside kernel loops ---
+
+// loopSpan is the source extent of one for/range statement.
+type loopSpan struct{ pos, end token.Pos }
+
+func collectLoops(f *ast.File) []loopSpan {
+	var spans []loopSpan
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			spans = append(spans, loopSpan{n.Pos(), n.End()})
+		}
+		return true
+	})
+	return spans
+}
+
+// checkKernelCall reports calls to math/rand methods lexically inside a
+// for/range statement of a kernel package. The whitelisted replacement is
+// parallel.Stream, whose methods live in this repo and therefore never
+// match the math/rand package test below.
+func checkKernelCall(pass *analysis.Pass, call *ast.CallExpr, loops []loopSpan) {
+	obj := callTarget(pass, call)
+	if obj == nil || obj.Pkg() == nil {
+		return
+	}
+	switch obj.Pkg().Path() {
+	case "math/rand", "math/rand/v2":
+	default:
+		return
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return // top-level functions are rule 2's business
+	}
+	for _, l := range loops {
+		if l.pos <= call.Pos() && call.Pos() < l.end {
+			pass.Reportf(call.Pos(),
+				"rand.%s inside a kernel loop: the flat sampler kernel draws from the inlined parallel.Stream (SplitMix64 + Lemire); hoist the *rand.Rand call out of the loop or seed a Stream from it",
+				obj.Name())
+			return
+		}
+	}
 }
 
 func checkCall(pass *analysis.Pass, call *ast.CallExpr, consumed map[ast.Node]bool) {

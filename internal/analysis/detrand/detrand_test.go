@@ -34,3 +34,34 @@ func TestOutOfScopePackageIsIgnored(t *testing.T) {
 		}
 	}
 }
+
+func TestKernelFixture(t *testing.T) {
+	const fixture = "repro/internal/analysis/testdata/src/detrandkernel"
+	KernelPackages[fixture] = true
+	defer delete(KernelPackages, fixture)
+	analysistest.Run(t, "../testdata/src/detrandkernel", []*analysis.Analyzer{Analyzer}, nil)
+}
+
+func TestKernelRuleNeedsKernelRegistration(t *testing.T) {
+	// The same sources registered only as a *deterministic* package must not
+	// produce kernel-loop diagnostics: rule 5 is scoped to KernelPackages,
+	// and *rand.Rand methods stay sanctioned everywhere else.
+	const fixture = "repro/internal/analysis/testdata/src/detrandkernel"
+	Packages[fixture] = true
+	defer delete(Packages, fixture)
+	pkgs, err := analysis.Load("../testdata/src/detrandkernel", ".")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	diags, err := analysis.Run(pkgs, func(string) []*analysis.Analyzer {
+		return []*analysis.Analyzer{Analyzer}
+	}, []string{"detrand"})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, d := range diags {
+		if d.Check == Analyzer.Name {
+			t.Errorf("non-kernel package got diagnostic: %s", analysis.Format(pkgs[0].Fset, d))
+		}
+	}
+}

@@ -1,0 +1,63 @@
+// Package detrandkernel is the fixture for detrand's rule 5: tests register
+// it in detrand.KernelPackages (and Packages) before running the analyzer.
+// Inside a kernel package, *rand.Rand methods are forbidden within loops —
+// the sanctioned generator there is parallel.Stream.
+package detrandkernel
+
+import "math/rand"
+
+// HotLoop draws per iteration through the Source interface: flagged.
+func HotLoop(rng *rand.Rand, xs []int) int {
+	s := 0
+	for i := 0; i < len(xs); i++ {
+		s += rng.Intn(10) // want `rand\.Intn inside a kernel loop`
+	}
+	return s
+}
+
+// HotRange is the range-loop variant.
+func HotRange(rng *rand.Rand, xs []float64) float64 {
+	s := 0.0
+	for range xs {
+		s += rng.Float64() // want `rand\.Float64 inside a kernel loop`
+	}
+	return s
+}
+
+// NestedLoop is flagged even when the draw hides a block deeper.
+func NestedLoop(rng *rand.Rand, n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			s += rng.Intn(3) // want `rand\.Intn inside a kernel loop`
+		}
+	}
+	return s
+}
+
+// SeedDraw draws once outside any loop — the sanctioned way to seed an
+// internal stream from a caller's generator.
+func SeedDraw(rng *rand.Rand) int64 {
+	return rng.Int63()
+}
+
+// LoopCondition places the draw in the loop header rather than the body:
+// still per-iteration, still flagged.
+func LoopCondition(rng *rand.Rand) int {
+	n := 0
+	for rng.Intn(100) != 0 { // want `rand\.Intn inside a kernel loop`
+		n++
+	}
+	return n
+}
+
+// ConstructorInLoop builds generators, not draws: constructors are
+// top-level functions, not *rand.Rand methods, so rule 5 leaves them to
+// rules 2 and 3 (which permit them).
+func ConstructorInLoop(seeds []int64) []*rand.Rand {
+	out := make([]*rand.Rand, 0, len(seeds))
+	for _, s := range seeds {
+		out = append(out, rand.New(rand.NewSource(s)))
+	}
+	return out
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math/big"
+	"math/bits"
 	"math/rand"
 
 	"repro/internal/budget"
@@ -47,7 +48,7 @@ func NewExactSamplerCtx(ctx context.Context, e *Explicit) (*ExactSampler, error)
 		if err := bud.Charge(1); err != nil {
 			return nil, fmt.Errorf("bipartite: exact sampler table: %w", err)
 		}
-		row := popcount(uint(s)) - 1
+		row := bits.OnesCount(uint(s)) - 1
 		acc := new(big.Int)
 		for _, x := range e.Adj[row] {
 			bit := 1 << uint(x)

@@ -31,6 +31,16 @@ type Graph struct {
 	ItemHi     []int     // last group index covered (inclusive)
 
 	prefix []int // prefix[i] = total anonymized items in groups [0, i)
+
+	// Flat candidate layout (DESIGN.md §11): flat is the concatenation of
+	// GroupItems in group order, so the anonymized items consistent with
+	// item x occupy the contiguous window
+	// flat[candBase[x] : candBase[x]+candSpan[x]] — samplers draw a uniform
+	// candidate with one bounded-rand draw and one array index instead of
+	// two prefix lookups and a binary search.
+	flat     []int
+	candBase []int
+	candSpan []int
 }
 
 // Build constructs the graph from a belief function and the grouping of the
@@ -66,6 +76,20 @@ func Build(bf *belief.Function, gr *dataset.Grouping) (*Graph, error) {
 	for x := 0; x < n; x++ {
 		iv := bf.Interval(x)
 		g.ItemLo[x], g.ItemHi[x] = groupRange(g.Freqs, iv)
+	}
+	g.flat = make([]int, 0, n)
+	for _, items := range g.GroupItems {
+		g.flat = append(g.flat, items...)
+	}
+	g.candBase = make([]int, n)
+	g.candSpan = make([]int, n)
+	for x := 0; x < n; x++ {
+		lo, hi := g.ItemLo[x], g.ItemHi[x]
+		if lo > hi {
+			continue // no consistent counterpart: zero span, base irrelevant
+		}
+		g.candBase[x] = g.prefix[lo]
+		g.candSpan[x] = g.prefix[hi+1] - g.prefix[lo]
 	}
 	return g, nil
 }
@@ -148,6 +172,25 @@ func (g *Graph) CompliantCount() int {
 }
 
 // OutdegreePrefix returns the total number of anonymized items in the first
-// gi frequency groups (groups [0, gi)). Samplers use it to draw uniform
-// candidates from an item's contiguous group range in O(log k).
+// gi frequency groups (groups [0, gi)). Kept for propagation and tests; the
+// sampler hot path reads the flat candidate layout instead.
 func (g *Graph) OutdegreePrefix(gi int) int { return g.prefix[gi] }
+
+// Candidates returns the anonymized items consistent with item x as a
+// subslice of the graph's flat group-ordered candidate array — zero-copy,
+// zero-alloc, and in ascending group order. The k-th consistent candidate
+// of x is Candidates(x)[k]; the slice must not be mutated.
+func (g *Graph) Candidates(x int) []int {
+	return g.flat[g.candBase[x] : g.candBase[x]+g.candSpan[x]]
+}
+
+// CandidateLayout exposes the flat candidate arrays to the sampler kernel:
+// flat is the group-ordered concatenation of GroupItems, and item x's
+// consistent candidates are flat[base[x] : base[x]+span[x]]. Callers
+// capture the three slice headers once and index them directly in the
+// per-proposal loop — one bounded-rand draw plus one load replaces the two
+// prefix lookups and the binary search of the pre-flat kernel. The slices
+// are shared with the graph and must be treated as read-only.
+func (g *Graph) CandidateLayout() (flat, base, span []int) {
+	return g.flat, g.candBase, g.candSpan
+}

@@ -363,3 +363,73 @@ func TestPerfectMatchingGreedyAgainstHopcroftKarp(t *testing.T) {
 		t.Errorf("test did not cover both outcomes: feasible=%d infeasible=%d", feasibleSeen, infeasibleSeen)
 	}
 }
+
+// TestCandidateLayoutMatchesHasEdge is the flat-kernel layout oracle: on
+// random tables and belief functions, item x's candidate window must contain
+// exactly the anonymized items w with HasEdge(w, x), in group order, and its
+// span must equal the outdegree. The sampler's O(1) candidate draw is
+// correct iff this holds.
+func TestCandidateLayoutMatchesHasEdge(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(10)
+		m := 8 + rng.Intn(12)
+		counts := make([]int, n)
+		for i := range counts {
+			counts[i] = rng.Intn(m + 1)
+		}
+		ft, err := dataset.NewTable(m, counts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bf := belief.RandomCompliant(ft.Frequencies(), 0.3, rng)
+		g := buildGraph(t, bf, ft)
+		flat, _, span := g.CandidateLayout()
+		if len(flat) != g.Items() {
+			t.Fatalf("trial %d: flat has %d entries, want n=%d", trial, len(flat), g.Items())
+		}
+		for x := 0; x < g.Items(); x++ {
+			cands := g.Candidates(x)
+			if len(cands) != span[x] || span[x] != g.Outdegree(x) {
+				t.Fatalf("trial %d item %d: |candidates| = %d, span = %d, outdegree = %d",
+					trial, x, len(cands), span[x], g.Outdegree(x))
+			}
+			inWindow := map[int]bool{}
+			lastGroup := -1
+			for _, w := range cands {
+				if !g.HasEdge(w, x) {
+					t.Fatalf("trial %d: candidate %d of item %d is not an edge", trial, w, x)
+				}
+				if gw := g.ItemGroup[w]; gw < lastGroup {
+					t.Fatalf("trial %d item %d: candidates not in group order", trial, x)
+				} else {
+					lastGroup = gw
+				}
+				inWindow[w] = true
+			}
+			for w := 0; w < g.Items(); w++ {
+				if g.HasEdge(w, x) && !inWindow[w] {
+					t.Fatalf("trial %d: edge (%d,%d) missing from candidate window", trial, w, x)
+				}
+			}
+		}
+	}
+}
+
+// TestCandidatesNonCompliantEmpty pins the zero-span representation of items
+// with no consistent counterpart.
+func TestCandidatesNonCompliantEmpty(t *testing.T) {
+	ft := bigMartTable(t)
+	ivs := make([]belief.Interval, 6)
+	for i := range ivs {
+		ivs[i] = belief.Interval{Lo: 0.4, Hi: 0.5}
+	}
+	ivs[2] = belief.Interval{Lo: 0.9, Hi: 0.95} // no observed frequency up there
+	g := buildGraph(t, belief.MustNew(ivs), ft)
+	if len(g.Candidates(2)) != 0 {
+		t.Errorf("non-compliant item has %d candidates, want 0", len(g.Candidates(2)))
+	}
+	if g.Outdegree(2) != 0 {
+		t.Errorf("Outdegree = %d, want 0", g.Outdegree(2))
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math/big"
+	"math/bits"
 
 	"repro/internal/budget"
 )
@@ -35,14 +36,6 @@ func (e *Explicit) CountPerfectMatchingsCtx(ctx context.Context) (*big.Int, erro
 		return nil, err
 	}
 	return e.countPerfectMatchings(bud)
-}
-
-func popcount(v uint) int {
-	c := 0
-	for ; v != 0; v &= v - 1 {
-		c++
-	}
-	return c
 }
 
 // Permanent is an alias for CountPerfectMatchings, matching the paper's
@@ -106,7 +99,7 @@ func (e *Explicit) countPerfectMatchings(bud *budget.Budget) (*big.Int, error) {
 		if err := bud.Charge(1); err != nil {
 			return nil, fmt.Errorf("bipartite: counting perfect matchings: %w", err)
 		}
-		row := popcount(uint(s)) - 1
+		row := bits.OnesCount(uint(s)) - 1
 		acc := new(big.Int)
 		for _, x := range e.Adj[row] {
 			bit := 1 << uint(x)
@@ -138,7 +131,7 @@ func (e *Explicit) matchingCountsFixingLeft(w int, bud *budget.Budget) ([]*big.I
 		if err := bud.Charge(1); err != nil {
 			return nil, fmt.Errorf("bipartite: counting fixed-edge matchings: %w", err)
 		}
-		c := popcount(uint(s))
+		c := bits.OnesCount(uint(s))
 		if c > len(rows) {
 			continue
 		}

@@ -10,6 +10,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/budget"
@@ -47,6 +49,51 @@ func WorkersFlag() func(context.Context) context.Context {
 		"parallel workers for risk sweeps (0 = GOMAXPROCS); any value yields identical output for a fixed seed")
 	return func(ctx context.Context) context.Context {
 		return parallel.WithWorkers(ctx, *workers)
+	}
+}
+
+// ProfileFlags registers -cpuprofile and -memprofile on the default flag set
+// and returns a starter to call after flag.Parse. The starter begins CPU
+// profiling when requested and returns a stop func to defer: it ends the CPU
+// profile and writes the heap profile (after a GC, so the numbers reflect
+// live memory, not garbage). Both flags default to off and cost nothing when
+// unused — they exist so kernel regressions can be pinned down with pprof
+// straight from the experiment harness, no test rig required.
+func ProfileFlags() func() (stop func(), err error) {
+	cpu := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	mem := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	return func() (func(), error) {
+		var cpuFile *os.File
+		if *cpu != "" {
+			f, err := os.Create(*cpu)
+			if err != nil {
+				return nil, fmt.Errorf("cpuprofile: %w", err)
+			}
+			if err := pprof.StartCPUProfile(f); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("cpuprofile: %w", err)
+			}
+			cpuFile = f
+		}
+		memPath := *mem
+		return func() {
+			if cpuFile != nil {
+				pprof.StopCPUProfile()
+				cpuFile.Close()
+			}
+			if memPath != "" {
+				f, err := os.Create(memPath)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "memprofile:", err)
+					return
+				}
+				defer f.Close()
+				runtime.GC()
+				if err := pprof.WriteHeapProfile(f); err != nil {
+					fmt.Fprintln(os.Stderr, "memprofile:", err)
+				}
+			}
+		}, nil
 	}
 }
 

@@ -2,6 +2,7 @@ package fim
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 )
 
@@ -68,7 +69,7 @@ func appendRules(rules []Rule, fs FrequentItemset, support map[string]int, m int
 	// Enumerate antecedent bitmasks grouped by popcount, largest first.
 	bySize := make([][]uint, k)
 	for mask := uint(1); mask < uint(1)<<uint(k)-1; mask++ {
-		bySize[popcountUint(mask)-1] = append(bySize[popcountUint(mask)-1], mask)
+		bySize[bits.OnesCount(mask)-1] = append(bySize[bits.OnesCount(mask)-1], mask)
 	}
 	failed := map[uint]bool{}
 	for size := k - 1; size >= 1; size-- {
@@ -80,7 +81,7 @@ func appendRules(rules []Rule, fs FrequentItemset, support map[string]int, m int
 			pruned := false
 			for b := 0; b < k; b++ {
 				sup := mask | 1<<uint(b)
-				if sup != mask && popcountUint(sup) == size+1 && failed[sup] {
+				if sup != mask && bits.OnesCount(sup) == size+1 && failed[sup] {
 					pruned = true
 					break
 				}
@@ -125,10 +126,3 @@ func splitByMask(items Itemset, mask uint) (in, out Itemset) {
 	return in, out
 }
 
-func popcountUint(v uint) int {
-	c := 0
-	for ; v != 0; v &= v - 1 {
-		c++
-	}
-	return c
-}

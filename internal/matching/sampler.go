@@ -3,13 +3,19 @@
 // simulation procedure of Section 7.1 of the SIGMOD 2005 paper. The sampled
 // crack counts provide the "average simulated estimates" that Figures 10 and
 // 11 compare the O-estimates against.
+//
+// The proposal loop is the hottest kernel in the repo and is written as a
+// flat-array kernel (DESIGN.md §11): candidate draws are one bounded-rand
+// draw plus one load into the graph's flat candidate layout, the crack count
+// is maintained incrementally inside swap, randomness comes from an inlined
+// SplitMix64 stream (parallel.Stream), and all per-run state lives in
+// reusable scratch so steady-state sampling allocates nothing.
 package matching
 
 import (
 	"context"
 	"fmt"
 	"math/rand"
-	"sort"
 
 	"repro/internal/bipartite"
 	"repro/internal/budget"
@@ -70,78 +76,150 @@ func (c Config) withDefaults() Config {
 //     far fewer proposals than blind transpositions — crucial for narrow
 //     intervals over large domains (RETAIL-scale), where the paper
 //     compensated with 100,000-iteration seeds instead.
+//
+// A Sampler is reusable: Reset rebinds it to a graph and a deterministic
+// seed without allocating when the domain size does not grow, which is what
+// makes the R-run estimate allocation-free after setup (see runScratch).
 type Sampler struct {
 	// PaperMoves makes Step use the paper's blind transpositions; the
 	// default is targeted swaps.
 	PaperMoves bool
 
-	g      *bipartite.Graph
+	g *bipartite.Graph
+
+	// Slice headers captured from the graph at bind time so the proposal
+	// loops index flat arrays directly instead of chasing through g.
+	flat     []int // group-ordered candidate array (g.CandidateLayout)
+	candBase []int // item x's candidates start at flat[candBase[x]]
+	candSpan []int // ... and number candSpan[x] (= outdegree O_x)
+	itemLo   []int // first consistent group per item
+	itemHi   []int // last consistent group per item (inclusive)
+	itemGrp  []int // true group of each anonymized item
+
 	anonOf []int // anonOf[x] = anonymized item currently matched to item x
 	itemOf []int // itemOf[w] = item currently holding anonymized item w
-	perm   []int // scratch permutation
-	rng    *rand.Rand
+	perm   []int // scratch permutation for Sweep
+
+	seedMatch    []int // base matching reseeds start from
+	identitySeed bool  // seedMatch is the identity: shuffle within groups
+
+	cracks int // incrementally maintained |{x : anonOf[x] == x}|
+
+	rng parallel.Stream
 }
 
-// NewSampler creates a sampler with a fresh seed matching (see seed). It
-// returns bipartite.ErrInfeasible when no consistent matching exists at all.
+// NewSampler creates a sampler with a fresh seed matching (see reseed). The
+// caller's generator contributes exactly one draw — the seed of the
+// sampler's internal SplitMix64 stream — so construction stays deterministic
+// for a fixed rng. It returns bipartite.ErrInfeasible when no consistent
+// matching exists at all.
 func NewSampler(g *bipartite.Graph, rng *rand.Rand) (*Sampler, error) {
-	s := &Sampler{
-		g:    g,
-		perm: make([]int, g.Items()),
-		rng:  rng,
-	}
-	if err := s.seed(); err != nil {
+	s := &Sampler{}
+	if err := s.Reset(g, rng.Int63()); err != nil {
 		return nil, err
 	}
 	return s, nil
 }
 
-// seed installs a fresh consistent matching: a within-group shuffle of the
-// identity when the graph is compliant (already far closer to stationarity
-// than the raw identity — its expected crack count is the number of groups,
-// not n), or a greedy perfect matching otherwise.
-func (s *Sampler) seed() error {
-	match, err := s.g.IdentityMatching()
-	if err != nil {
-		match, err = s.g.PerfectMatching()
-		if err != nil {
+// Reset rebinds the sampler to g, restarts its random stream at seed, and
+// installs a fresh seed matching. No memory is allocated when the sampler
+// was previously bound to a graph of at least the same domain size; the
+// per-worker scratch of EstimateCracksCtx relies on this to run every chain
+// allocation-free after the first. It returns bipartite.ErrInfeasible when
+// the graph admits no consistent matching.
+func (s *Sampler) Reset(g *bipartite.Graph, seed int64) error {
+	if s.g != g {
+		if err := s.bind(g); err != nil {
 			return err
 		}
-	} else {
+	}
+	s.rng = parallel.NewStream(seed)
+	s.reseed()
+	return nil
+}
+
+// bind captures g's flat layout and establishes the base seed matching: the
+// identity when the graph is compliant, a greedy perfect matching otherwise
+// (both deterministic, so they are computed once and reused by reseed).
+func (s *Sampler) bind(g *bipartite.Graph) error {
+	match, err := g.IdentityMatching()
+	identity := err == nil
+	if !identity {
+		if match, err = g.PerfectMatching(); err != nil {
+			return err
+		}
+	}
+	n := g.Items()
+	s.g = g
+	s.flat, s.candBase, s.candSpan = g.CandidateLayout()
+	s.itemLo, s.itemHi, s.itemGrp = g.ItemLo, g.ItemHi, g.ItemGroup
+	s.seedMatch = match
+	s.identitySeed = identity
+	s.anonOf = scratchInts(s.anonOf, n)
+	s.itemOf = scratchInts(s.itemOf, n)
+	s.perm = scratchInts(s.perm, n)
+	return nil
+}
+
+// scratchInts returns a length-n int slice, reusing buf's storage when it is
+// large enough.
+func scratchInts(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
+}
+
+// reseed installs a fresh consistent matching: a within-group shuffle of the
+// identity when the graph is compliant (already far closer to stationarity
+// than the raw identity — its expected crack count is the number of groups,
+// not n), or the cached greedy perfect matching otherwise. It also rebuilds
+// the inverse index and recounts cracks — the one O(n) scan per seed; every
+// proposal afterwards updates the count incrementally.
+func (s *Sampler) reseed() {
+	copy(s.anonOf, s.seedMatch)
+	if s.identitySeed {
 		// Shuffle within each frequency group; every such matching is
 		// consistent because an item's own group always lies in its range.
 		for _, group := range s.g.GroupItems {
 			for i := len(group) - 1; i > 0; i-- {
-				j := s.rng.Intn(i + 1)
+				j := int(s.rng.Uintn(uint64(i + 1)))
 				a, b := group[i], group[j]
-				match[a], match[b] = match[b], match[a]
+				s.anonOf[a], s.anonOf[b] = s.anonOf[b], s.anonOf[a]
 			}
 		}
 	}
-	s.anonOf = match
-	s.itemOf = make([]int, len(match))
-	for x, w := range match {
+	cracks := 0
+	for x, w := range s.anonOf {
 		s.itemOf[w] = x
+		if w == x {
+			cracks++
+		}
 	}
-	return nil
+	s.cracks = cracks
 }
 
 // Sweep performs one permutation sweep of transposition moves and reports how
 // many were accepted.
 func (s *Sampler) Sweep() int {
 	n := len(s.anonOf)
-	for i := range s.perm {
-		s.perm[i] = i
+	perm := s.perm
+	for i := range perm {
+		perm[i] = i
 	}
-	s.rng.Shuffle(n, func(i, j int) { s.perm[i], s.perm[j] = s.perm[j], s.perm[i] })
+	s.rng.Shuffle(perm)
+	anonOf := s.anonOf
+	itemLo, itemHi, itemGrp := s.itemLo, s.itemHi, s.itemGrp
 	accepted := 0
 	for i := 0; i < n; i++ {
-		j := s.perm[i]
+		j := perm[i]
 		if i == j {
 			continue
 		}
-		wi, wj := s.anonOf[i], s.anonOf[j]
-		if s.g.HasEdge(wj, i) && s.g.HasEdge(wi, j) {
+		wi, wj := anonOf[i], anonOf[j]
+		// HasEdge(wj, i) && HasEdge(wi, j), inlined on the captured arrays.
+		gj, gi := itemGrp[wj], itemGrp[wi]
+		if itemLo[i] <= gj && gj <= itemHi[i] && itemLo[j] <= gi && gi <= itemHi[j] {
 			s.swap(i, j)
 			accepted++
 		}
@@ -149,31 +227,56 @@ func (s *Sampler) Sweep() int {
 	return accepted
 }
 
-// swap exchanges the anonymized items of items i and j (assumed consistent).
+// swap exchanges the anonymized items of items i and j (assumed consistent)
+// and keeps the crack count current: only positions i and j change, so the
+// count moves by the ±1 contributions of those two positions.
 func (s *Sampler) swap(i, j int) {
 	wi, wj := s.anonOf[i], s.anonOf[j]
+	d := 0
+	if wi == i {
+		d--
+	}
+	if wj == j {
+		d--
+	}
+	if wj == i {
+		d++
+	}
+	if wi == j {
+		d++
+	}
+	s.cracks += d
 	s.anonOf[i], s.anonOf[j] = wj, wi
 	s.itemOf[wi], s.itemOf[wj] = j, i
 }
 
 // TargetedSweep performs n targeted-swap proposals and reports how many were
 // accepted. See the Sampler documentation for the kernel and its symmetry.
+// This is the flat kernel proper: per proposal, two bounded-rand draws, one
+// candidate load, one interval test, and a constant-work swap.
 func (s *Sampler) TargetedSweep() int {
 	n := len(s.anonOf)
+	un := uint64(n)
+	anonOf := s.anonOf
+	flat, candBase, candSpan := s.flat, s.candBase, s.candSpan
+	itemLo, itemHi, itemGrp := s.itemLo, s.itemHi, s.itemGrp
 	accepted := 0
 	for t := 0; t < n; t++ {
-		i := s.rng.Intn(n)
-		w, ok := s.randomCandidate(i)
-		if !ok {
+		i := int(s.rng.Uintn(un))
+		span := candSpan[i]
+		if span == 0 {
 			continue
 		}
-		if w == s.anonOf[i] {
+		// Uniform candidate from i's belief range: one draw, one load.
+		w := flat[candBase[i]+int(s.rng.Uintn(uint64(span)))]
+		if w == anonOf[i] {
 			continue
 		}
 		j := s.itemOf[w]
 		// Moving w to i is consistent by construction; the displaced
 		// anonymized item must suit j.
-		if s.g.HasEdge(s.anonOf[i], j) {
+		gi := itemGrp[anonOf[i]]
+		if itemLo[j] <= gi && gi <= itemHi[j] {
 			s.swap(i, j)
 			accepted++
 		}
@@ -181,31 +284,10 @@ func (s *Sampler) TargetedSweep() int {
 	return accepted
 }
 
-// randomCandidate draws a uniform anonymized item from item i's belief range.
-func (s *Sampler) randomCandidate(i int) (int, bool) {
-	lo, hi := s.g.ItemLo[i], s.g.ItemHi[i]
-	if lo > hi {
-		return 0, false
-	}
-	// Uniform global position among the O_i anonymized items in groups
-	// lo..hi, resolved to (group, offset) by binary search on prefix sums.
-	base := s.g.OutdegreePrefix(lo)
-	pos := base + s.rng.Intn(s.g.OutdegreePrefix(hi+1)-base)
-	gi := sort.Search(hi-lo, func(j int) bool { return s.g.OutdegreePrefix(lo+j+1) > pos }) + lo
-	return s.g.GroupItems[gi][pos-s.g.OutdegreePrefix(gi)], true
-}
-
-// Cracks returns the number of cracked items in the current matching: items
-// whose matched anonymized item is their own twin.
-func (s *Sampler) Cracks() int {
-	c := 0
-	for x, w := range s.anonOf {
-		if w == x {
-			c++
-		}
-	}
-	return c
-}
+// Cracks returns the number of cracked items in the current matching — items
+// whose matched anonymized item is their own twin — in O(1): the count is
+// maintained incrementally by swap and recomputed only on reseed.
+func (s *Sampler) Cracks() int { return s.cracks }
 
 // Matching returns a copy of the current matching (item -> anonymized item).
 func (s *Sampler) Matching() []int {
@@ -221,11 +303,10 @@ func (s *Sampler) Step() int {
 }
 
 // Reseed resets the state to a fresh seed matching and burns in the given
-// number of sweeps.
+// number of sweeps. The random stream continues — it is not rewound — so
+// successive reseeds of one sampler explore distinct seed states.
 func (s *Sampler) Reseed(burnIn int) error {
-	if err := s.seed(); err != nil {
-		return err
-	}
+	s.reseed()
 	for i := 0; i < burnIn; i++ {
 		s.Step()
 	}
@@ -247,11 +328,21 @@ func (e *Estimate) Fraction(n int) float64 { return e.Mean / float64(n) }
 // independent runs, each drawing cfg.Samples crack counts from the matching
 // space, and returns the across-run mean and standard deviation. Runs
 // execute on the parallel worker pool; results are bit-identical for a given
-// rng regardless of the worker count, because each run's generator is split
-// off a single root seed (parallel.SplitSeed) and run means are reduced in
-// run order.
+// rng regardless of the worker count, because each run's random stream is
+// seeded from a single root (parallel.SplitSeed) and run means are reduced
+// in run order.
 func EstimateCracks(g *bipartite.Graph, cfg Config, rng *rand.Rand) (*Estimate, error) {
 	return EstimateCracksCtx(context.Background(), g, cfg, rng)
+}
+
+// runScratch is one pool worker's reusable state: a rebindable sampler and
+// the worker's batching view of the shared budget. A scratch is owned by
+// exactly one ForEachWorker index, so chains reuse its memory run after run
+// — after the first run on a worker, a steady-state iteration performs no
+// allocations (enforced by TestSimulateRunSteadyStateAllocs).
+type runScratch struct {
+	s   Sampler
+	bud *budget.Worker
 }
 
 // EstimateCracksCtx is EstimateCracks under a work budget: every run charges
@@ -270,8 +361,13 @@ func EstimateCracksCtx(ctx context.Context, g *bipartite.Graph, cfg Config, rng 
 	}
 	root := rng.Int63()
 	shared := budget.NewShared(ctx, budget.Config{})
-	err := parallel.ForEach(ctx, 0, cfg.Runs, func(run int) error {
-		mean, err := simulateRun(g, cfg, parallel.RNG(root, run), shared.Worker())
+	workers := parallel.PoolWorkers(ctx, 0, cfg.Runs)
+	scratch := make([]runScratch, workers)
+	for w := range scratch {
+		scratch[w].bud = shared.Worker()
+	}
+	err := parallel.ForEachWorker(ctx, workers, cfg.Runs, func(worker, run int) error {
+		mean, err := simulateRun(g, cfg, parallel.SplitSeed(root, uint64(run)), &scratch[worker])
 		if err != nil {
 			return fmt.Errorf("matching: run %d: %w", run, err)
 		}
@@ -286,22 +382,23 @@ func EstimateCracksCtx(ctx context.Context, g *bipartite.Graph, cfg Config, rng 
 	return est, nil
 }
 
-// simulateRun executes one independent simulation run, charging the budget
-// one operation per proposal (n per sweep).
-func simulateRun(g *bipartite.Graph, cfg Config, rng *rand.Rand, bud budget.Charger) (float64, error) {
+// simulateRun executes one independent simulation run on the worker's
+// scratch, charging the budget one operation per proposal (n per sweep).
+// Everything the run computes is a pure function of (g, cfg, seed); the
+// scratch only supplies reusable memory.
+func simulateRun(g *bipartite.Graph, cfg Config, seed int64, sc *runScratch) (float64, error) {
+	bud := sc.bud
 	if err := bud.Check(); err != nil {
 		return 0, err
 	}
 	sweepCost := int64(g.Items())
-	s, err := NewSampler(g, rng)
-	if err != nil {
+	s := &sc.s
+	if err := s.Reset(g, seed); err != nil {
 		return 0, err
 	}
 	s.PaperMoves = cfg.PaperMoves
 	reseed := func() error {
-		if err := s.seed(); err != nil {
-			return err
-		}
+		s.reseed()
 		for i := 0; i < cfg.SeedSweeps; i++ {
 			if err := bud.Charge(sweepCost); err != nil {
 				return fmt.Errorf("matching: burn-in: %w", err)

@@ -54,6 +54,23 @@ func Workers(ctx context.Context) int {
 	return 1
 }
 
+// PoolWorkers returns the number of workers a pool started with the given
+// workers argument (non-positive = Workers(ctx)) actually uses for n items:
+// the requested width clamped to n. Callers holding per-worker scratch size
+// their scratch arrays with it so every ForEachWorker index lands in range.
+func PoolWorkers(ctx context.Context, workers, n int) int {
+	if workers <= 0 {
+		workers = Workers(ctx)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
 // SplitSeed derives the i-th child seed from a root seed with the SplitMix64
 // finalizer. Consecutive indices land in statistically independent streams
 // (the weak point of seeding math/rand sources with small consecutive
@@ -98,20 +115,29 @@ func RNG(root int64, i int) *rand.Rand {
 // shared state, and must publish its result to a slot owned by i. ForEach
 // guarantees a happens-before edge between every f call and its return.
 func ForEach(ctx context.Context, workers, n int, f func(i int) error) error {
+	return ForEachWorker(ctx, workers, n, func(_, i int) error { return f(i) })
+}
+
+// ForEachWorker is ForEach for callers that keep per-worker scratch: f
+// receives the stable index of the pool worker executing the item (0 ≤
+// worker < PoolWorkers(ctx, workers, n)) alongside the item index. A worker
+// index is owned by exactly one goroutine for the pool's lifetime, so
+// scratch[worker] may be mutated freely without synchronization — the
+// matching sampler threads its zero-alloc runScratch through here.
+//
+// The determinism contract is unchanged: the worker index must only select
+// *reusable memory*, never influence results — f's output must stay a pure
+// function of the item index.
+func ForEachWorker(ctx context.Context, workers, n int, f func(worker, i int) error) error {
 	if n <= 0 {
 		return nil
 	}
-	if workers <= 0 {
-		workers = Workers(ctx)
-	}
-	if workers > n {
-		workers = n
-	}
+	workers = PoolWorkers(ctx, workers, n)
 	if workers == 1 {
 		// Fast path: no goroutines, no atomics — and the reference execution
 		// order the determinism tests compare against.
 		for i := 0; i < n; i++ {
-			if err := f(i); err != nil {
+			if err := f(0, i); err != nil {
 				return err
 			}
 		}
@@ -127,7 +153,7 @@ func ForEach(ctx context.Context, workers, n int, f func(i int) error) error {
 	failed.Store(0)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for {
 				i := int(cursor.Add(1)) - 1
@@ -139,7 +165,7 @@ func ForEach(ctx context.Context, workers, n int, f func(i int) error) error {
 				if lowest := failed.Load(); lowest != 0 && int64(i) >= lowest-1 {
 					continue
 				}
-				if err := f(i); err != nil {
+				if err := f(worker, i); err != nil {
 					mu.Lock()
 					errs[i] = err
 					mu.Unlock()
@@ -154,7 +180,7 @@ func ForEach(ctx context.Context, workers, n int, f func(i int) error) error {
 					}
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	if lowest := failed.Load(); lowest != 0 {

@@ -223,3 +223,70 @@ func TestForEachDeterministicReduction(t *testing.T) {
 		}
 	}
 }
+
+// TestForEachWorkerIndexInRange pins the scratch-ownership contract: every
+// worker index handed to f lies in [0, PoolWorkers), and a given index is
+// never held by two goroutines at once — the per-index counters below are
+// mutated without synchronization, so a violation shows up under -race.
+func TestForEachWorkerIndexInRange(t *testing.T) {
+	ctx := context.Background()
+	for _, workers := range []int{1, 3, 8} {
+		n := 50
+		eff := PoolWorkers(ctx, workers, n)
+		if eff > workers || eff > n || eff < 1 {
+			t.Fatalf("PoolWorkers(%d, %d) = %d out of range", workers, n, eff)
+		}
+		items := make([]int, eff) // items[w] = count run on worker w, unsynchronized
+		err := ForEachWorker(ctx, workers, n, func(worker, i int) error {
+			if worker < 0 || worker >= eff {
+				t.Errorf("worker index %d outside [0,%d)", worker, eff)
+			}
+			items[worker]++
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		for _, c := range items {
+			total += c
+		}
+		if total != n {
+			t.Errorf("workers=%d: %d items ran, want %d", workers, total, n)
+		}
+	}
+}
+
+// TestForEachWorkerSerialUsesWorkerZero pins the fast path: with one worker
+// every item must see worker index 0, in item order.
+func TestForEachWorkerSerialUsesWorkerZero(t *testing.T) {
+	var order []int
+	err := ForEachWorker(context.Background(), 1, 5, func(worker, i int) error {
+		if worker != 0 {
+			t.Errorf("item %d: worker %d, want 0", i, worker)
+		}
+		order = append(order, i)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial order %v not ascending", order)
+		}
+	}
+}
+
+func TestPoolWorkersClamps(t *testing.T) {
+	ctx := context.Background()
+	if got := PoolWorkers(ctx, 16, 4); got != 4 {
+		t.Errorf("PoolWorkers(16, 4) = %d, want 4", got)
+	}
+	if got := PoolWorkers(WithWorkers(ctx, 3), 0, 100); got != 3 {
+		t.Errorf("PoolWorkers(ctx[3], 0, 100) = %d, want 3", got)
+	}
+	if got := PoolWorkers(ctx, 0, 0); got != 1 {
+		t.Errorf("PoolWorkers(_, 0) = %d, want 1", got)
+	}
+}

@@ -1,0 +1,75 @@
+package parallel
+
+import "math/bits"
+
+// Stream is the flat sampler kernel's random-number generator: a SplitMix64
+// sequence (Steele, Lea & Flood 2014 — the same finalizer SplitSeed uses)
+// with Lemire's nearly-divisionless bounded rejection for Uintn. It exists
+// because the MCMC hot loop spends a measurable fraction of its time inside
+// (*rand.Rand).Intn: an interface call into the Source, a 64→63-bit shim,
+// and a modulo-rejection loop per draw. Stream is a plain struct with
+// non-virtual methods that inline into the kernel, and its state is a single
+// uint64 that lives inside the per-worker scratch — no pointer chase, no
+// allocation, trivially resettable between runs.
+//
+// Determinism contract (DESIGN.md §8, §11): a Stream is seeded exclusively
+// via SplitSeed from a fan-out's root seed, so the sequence a work item
+// draws is a pure function of (root, item index). Two draws of the same
+// seeded Stream never depend on worker scheduling. The detrand analyzer
+// enforces the flip side: kernel loops must use Stream, not *rand.Rand.
+//
+// Stream is NOT cryptographically secure and must not be used where an
+// adversary predicting the sequence matters; it drives Monte-Carlo
+// estimates only.
+type Stream struct {
+	state uint64
+}
+
+// NewStream returns a stream positioned at the given seed. Seeds should come
+// from SplitSeed so that distinct work items get decorrelated sequences;
+// SplitMix64's full-period increment keeps even adjacent raw seeds usable.
+func NewStream(seed int64) Stream { return Stream{state: uint64(seed)} }
+
+// Uint64 advances the stream: one odd-constant increment plus the SplitMix64
+// finalizer (three xor-shift-multiply rounds). Passes BigCrush per the
+// original paper; period 2^64.
+func (s *Stream) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Uintn returns a uniform value in [0, n) using Lemire's multiply-shift
+// bounded rejection (arXiv:1805.10941): the common case is one 64×64→128
+// multiply with no division at all; the rare correction path (probability
+// < n/2^64) rejects to keep the distribution exactly uniform. n must be
+// positive.
+func (s *Stream) Uintn(n uint64) uint64 {
+	hi, lo := bits.Mul64(s.Uint64(), n)
+	if lo < n {
+		thresh := -n % n // = (2^64 - n) mod n, the biased low fringe
+		for lo < thresh {
+			hi, lo = bits.Mul64(s.Uint64(), n)
+		}
+	}
+	return hi
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0, matching
+// (*rand.Rand).Intn so the two stay drop-in interchangeable in tests.
+func (s *Stream) Intn(n int) int {
+	if n <= 0 {
+		panic("parallel: Stream.Intn called with n <= 0")
+	}
+	return int(s.Uintn(uint64(n)))
+}
+
+// Shuffle performs a Fisher–Yates shuffle of ints[0:n] in place.
+func (s *Stream) Shuffle(ints []int) {
+	for i := len(ints) - 1; i > 0; i-- {
+		j := int(s.Uintn(uint64(i + 1)))
+		ints[i], ints[j] = ints[j], ints[i]
+	}
+}

@@ -287,14 +287,27 @@ func (s *AlphaSearch) OEAt(alpha float64) (float64, error) {
 
 // OEAtCtx is OEAt under a work budget: each of the runs' O-estimates checks
 // the context's deadline and operation limit. The runs evaluate on the
-// parallel worker pool; the per-run values are reduced in run order, so the
-// mean is bit-identical at any worker count.
+// parallel worker pool, each worker reusing one lazily-built mask buffer
+// across its items; the per-run values are reduced in run order, so the mean
+// is bit-identical at any worker count.
 func (s *AlphaSearch) OEAtCtx(ctx context.Context, alpha float64) (float64, error) {
 	if alpha < 0 || alpha > 1 {
 		return 0, fmt.Errorf("recipe: alpha %v outside [0,1]", alpha)
 	}
-	vals, err := parallel.Map(ctx, 0, len(s.orders), func(r int) (float64, error) {
-		return s.oeOne(ctx, alpha, s.orders[r])
+	runs := len(s.orders)
+	workers := parallel.PoolWorkers(ctx, 0, runs)
+	masks := make([][]bool, workers)
+	vals := make([]float64, runs)
+	err := parallel.ForEachWorker(ctx, workers, runs, func(w, r int) error {
+		if masks[w] == nil {
+			masks[w] = make([]bool, s.ft.NItems)
+		}
+		v, err := s.oeOne(ctx, alpha, s.orders[r], masks[w])
+		if err != nil {
+			return err
+		}
+		vals[r] = v
+		return nil
 	})
 	if err != nil {
 		return 0, err
@@ -308,15 +321,20 @@ func (s *AlphaSearch) OEAtCtx(ctx context.Context, alpha float64) (float64, erro
 
 // oeOne evaluates the O-estimate of a single run's compliant subset at level
 // alpha. It is the independent work item of the package's parallel sweeps:
-// pure in (alpha, order) given the search's read-only tables.
-func (s *AlphaSearch) oeOne(ctx context.Context, alpha float64, order []int) (float64, error) {
-	n := s.ft.NItems
-	k := int(alpha*float64(n) + 0.5)
-	mask := make([]bool, n)
+// pure in (alpha, order) given the search's read-only tables. The caller
+// supplies mask — a zeroed n-length scratch buffer reused across the items of
+// one worker — and gets it back zeroed, whether or not the estimate errored.
+// Which worker's buffer arrives here can never change the value: the mask is
+// fully determined by (alpha, order) before the estimate reads it.
+func (s *AlphaSearch) oeOne(ctx context.Context, alpha float64, order []int, mask []bool) (float64, error) {
+	k := int(alpha*float64(s.ft.NItems) + 0.5)
 	for _, x := range order[:k] {
 		mask[x] = true
 	}
 	oe, err := core.OEstimateCtx(ctx, s.bf, s.ft, core.OEOptions{Mask: mask, Propagate: s.propagate})
+	for _, x := range order[:k] {
+		mask[x] = false
+	}
 	if err != nil {
 		return 0, err
 	}
@@ -384,7 +402,8 @@ func (s *AlphaSearch) Curve(alphas []float64) ([]float64, error) {
 // CurveCtx is Curve under a work budget, evaluated on the parallel worker
 // pool. The fan-out is the flattened α × run grid — every (point, subset)
 // O-estimate is an independent work item — so the pool stays saturated even
-// when the curve has more workers than α points. Per-point means reduce in
+// when the curve has more workers than α points. Each worker reuses one
+// lazily-built mask buffer across its grid items. Per-point means reduce in
 // run order and the output in α order, keeping the curve bit-identical at
 // any worker count.
 func (s *AlphaSearch) CurveCtx(ctx context.Context, alphas []float64) ([]float64, error) {
@@ -394,8 +413,20 @@ func (s *AlphaSearch) CurveCtx(ctx context.Context, alphas []float64) ([]float64
 		}
 	}
 	runs := len(s.orders)
-	vals, err := parallel.Map(ctx, 0, len(alphas)*runs, func(k int) (float64, error) {
-		return s.oeOne(ctx, alphas[k/runs], s.orders[k%runs])
+	grid := len(alphas) * runs
+	workers := parallel.PoolWorkers(ctx, 0, grid)
+	masks := make([][]bool, workers)
+	vals := make([]float64, grid)
+	err := parallel.ForEachWorker(ctx, workers, grid, func(w, k int) error {
+		if masks[w] == nil {
+			masks[w] = make([]bool, s.ft.NItems)
+		}
+		v, err := s.oeOne(ctx, alphas[k/runs], s.orders[k%runs], masks[w])
+		if err != nil {
+			return err
+		}
+		vals[k] = v
+		return nil
 	})
 	if err != nil {
 		return nil, err
