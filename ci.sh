@@ -15,15 +15,19 @@
 #   ./ci.sh -lint    additionally run staticcheck and govulncheck when they
 #                    are installed (each is skipped with a notice otherwise;
 #                    this container has no network to fetch them)
+#   ./ci.sh -chaos   additionally run the fault-injection chaos suite under
+#                    -race (fixed seeds, see internal/chaos) and the riskd
+#                    -selfcheck-chaos end-to-end drill, which exits non-zero
+#                    on any invariant violation
 #
 # riskvet is the repo's own analyzer suite (see internal/analysis and
-# DESIGN.md §10): ctxbudget, detrand, errcmp, floateq, plus the
+# DESIGN.md §10): ctxbudget, detrand, errcmp, floateq, retrysleep, plus the
 # //lint:allow suppression ledger, whose stale or unreasoned entries fail
 # the gate. It runs as a standalone binary rather than `go vet -vettool`
 # because the unitchecker protocol lives in golang.org/x/tools, which the
 # offline build cannot depend on.
 #
-# Flags combine in any order: ./ci.sh -short -bench -serve -lint.
+# Flags combine in any order: ./ci.sh -short -bench -serve -lint -chaos.
 # Exits non-zero on the first failure.
 set -eu
 cd "$(dirname "$0")"
@@ -32,15 +36,17 @@ short=""
 bench=""
 serve=""
 lint=""
+chaos=""
 for arg in "$@"; do
 	case "$arg" in
 	-short) short="-short" ;;
 	-bench) bench="yes" ;;
 	-serve) serve="yes" ;;
 	-lint) lint="yes" ;;
+	-chaos) chaos="yes" ;;
 	*)
 		echo "ci.sh: unknown flag: $arg" >&2
-		echo "usage: ./ci.sh [-short] [-bench] [-serve] [-lint]" >&2
+		echo "usage: ./ci.sh [-short] [-bench] [-serve] [-lint] [-chaos]" >&2
 		exit 2
 		;;
 	esac
@@ -151,6 +157,13 @@ fi
 if [ -n "$serve" ]; then
 	echo "== riskd serving smoke test =="
 	go run ./cmd/riskd -selfcheck
+fi
+
+if [ -n "$chaos" ]; then
+	echo "== chaos suite (fault injection, -race, fixed seeds) =="
+	go test -race -count=1 ./internal/chaos/
+	echo "== riskd selfcheck-chaos =="
+	go run ./cmd/riskd -selfcheck-chaos
 fi
 
 echo "ci: OK"

@@ -7,19 +7,33 @@
 //
 //	riskd [-addr :8321] [-data dir] [-cache-entries 256]
 //	      [-timeout 30s] [-max-work n] [-workers n] [-max-inflight n]
-//	      [-selfcheck]
+//	      [-snapshot file] [-snapshot-interval 1m] [-drain-timeout 10s]
+//	      [-fault-schedule s] [-fault-seed n]
+//	      [-selfcheck] [-selfcheck-chaos]
 //
-// Endpoints: POST /v1/assess, GET /healthz, GET /debug/vars — see
-// internal/server. -timeout and -max-work carry the CLI budget convention
-// per request: an expiring budget first degrades the assessment (the result
-// reports Degraded and the tier that answered), and only when even the
-// O-estimate floor cannot run does the request fail with HTTP 503 and a
-// Retry-After hint.
+// Endpoints: POST /v1/assess, GET /healthz, GET /readyz, GET /debug/vars —
+// see internal/server. -timeout and -max-work carry the CLI budget
+// convention per request: an expiring budget first degrades the assessment
+// (the result reports Degraded and the tier that answered), and only when
+// even the O-estimate floor cannot run does the request fail with HTTP 503
+// and a Retry-After hint derived from observed compute latency.
+//
+// -snapshot enables crash-safe cache persistence: the file is loaded on
+// boot, rewritten atomically every -snapshot-interval, and written one last
+// time after the shutdown drain, so a restarted riskd serves hot releases
+// warm. On SIGINT/SIGTERM the service flips /readyz to 503, finishes every
+// in-flight assessment (bounded by -drain-timeout), then closes — no
+// accepted request is dropped.
 //
 // -selfcheck starts the service on an ephemeral localhost port, runs a
 // health probe and one assess round-trip twice — asserting the repeat is
 // served from cache — then shuts down cleanly; the exit status reports the
 // outcome. ci.sh -serve uses it as the serving smoke test.
+//
+// -selfcheck-chaos runs one seeded fault-injection scenario end to end
+// (internal/chaos): faults from -fault-schedule (default: the standard mix)
+// under -fault-seed, asserting the service's robustness invariants; any
+// violation exits nonzero. ci.sh -chaos uses it after the chaos test suite.
 package main
 
 import (
@@ -38,6 +52,8 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/chaos"
+	"repro/internal/cliutil"
 	"repro/internal/server"
 )
 
@@ -49,16 +65,36 @@ func main() {
 	maxWork := flag.Int64("max-work", 0, "operation-count budget per expensive computation (0 = unlimited)")
 	workers := flag.Int("workers", 0, "parallel workers per assessment (0 = GOMAXPROCS)")
 	maxInflight := flag.Int("max-inflight", 0, "concurrently computing assessments (0 = GOMAXPROCS)")
+	snapshot := flag.String("snapshot", "", "cache snapshot file: loaded on boot, rewritten periodically and on shutdown (empty: no persistence)")
+	snapshotInterval := flag.Duration("snapshot-interval", time.Minute, "period of the background snapshot writer")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "how long a shutdown waits for in-flight assessments")
+	faults := cliutil.FaultFlags()
 	selfcheck := flag.Bool("selfcheck", false, "start on an ephemeral port, run a smoke round-trip, exit")
+	selfcheckChaos := flag.Bool("selfcheck-chaos", false, "run one seeded fault-injection scenario, exit nonzero on any invariant violation")
 	flag.Parse()
 
+	injector, err := faults.Injector()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "riskd:", err)
+		os.Exit(1)
+	}
 	cfg := server.Config{
-		DataDir:      *data,
-		Timeout:      *timeout,
-		MaxOps:       *maxWork,
-		Workers:      *workers,
-		MaxInflight:  *maxInflight,
-		CacheEntries: *cacheEntries,
+		DataDir:          *data,
+		Timeout:          *timeout,
+		MaxOps:           *maxWork,
+		Workers:          *workers,
+		MaxInflight:      *maxInflight,
+		CacheEntries:     *cacheEntries,
+		SnapshotPath:     *snapshot,
+		SnapshotInterval: *snapshotInterval,
+		Injector:         injector,
+	}
+	if *selfcheckChaos {
+		if err := runSelfcheckChaos(*faults.Seed, *faults.Schedule); err != nil {
+			fmt.Fprintln(os.Stderr, "riskd: selfcheck-chaos:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	if *selfcheck {
 		if err := runSelfcheck(cfg); err != nil {
@@ -68,37 +104,102 @@ func main() {
 		fmt.Println("riskd: selfcheck ok")
 		return
 	}
-	if err := serve(cfg, *addr); err != nil {
+	if err := serve(cfg, *addr, *drainTimeout, nil); err != nil {
 		fmt.Fprintln(os.Stderr, "riskd:", err)
 		os.Exit(1)
 	}
 }
 
-// serve runs the service until SIGINT/SIGTERM, then drains connections.
-func serve(cfg server.Config, addr string) error {
+// serveHooks lets tests drive serve's lifecycle in-process: ready receives
+// the bound address once the service accepts traffic, and closing stop
+// triggers the same drain sequence a SIGTERM would.
+type serveHooks struct {
+	ready chan<- string
+	stop  <-chan struct{}
+}
+
+// serve runs the service until SIGINT/SIGTERM (or a test-injected stop),
+// then shuts down in drain order: readiness flips to 503 first, every
+// in-flight assessment finishes (bounded by drainTimeout), the listener
+// closes, and — with -snapshot — the drained cache is written out, so the
+// next boot starts warm.
+func serve(cfg server.Config, addr string, drainTimeout time.Duration, hooks *serveHooks) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
+	s := server.New(cfg)
+	if loaded, skipped, err := s.LoadSnapshot(); err != nil {
+		log.Printf("riskd: snapshot load: %v (starting cold)", err)
+	} else if loaded > 0 || skipped > 0 {
+		log.Printf("riskd: snapshot warmed %d entries (%d skipped)", loaded, skipped)
+	}
+	s.StartSnapshots()
 	srv := &http.Server{
-		Handler:           server.New(cfg).Handler(),
+		Handler:           s.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	log.Printf("riskd: listening on %s", ln.Addr())
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
+	var stop <-chan struct{}
+	if hooks != nil {
+		stop = hooks.stop
+		if hooks.ready != nil {
+			hooks.ready <- ln.Addr().String()
+		}
+	}
 	select {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
-		log.Print("riskd: shutting down")
-		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-		defer cancel()
-		return srv.Shutdown(shutCtx)
+	case <-stop:
 	}
+
+	log.Print("riskd: draining")
+	s.BeginDrain() // /readyz → 503; the listener stays open while work finishes
+	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	drainErr := s.DrainWait(drainCtx)
+	shutErr := srv.Shutdown(drainCtx)
+	s.StopSnapshots()
+	if cfg.SnapshotPath != "" {
+		if n, err := s.SaveSnapshot(); err != nil {
+			log.Printf("riskd: final snapshot: %v", err)
+		} else {
+			log.Printf("riskd: final snapshot: %d entries", n)
+		}
+	}
+	if drainErr != nil {
+		return drainErr
+	}
+	return shutErr
+}
+
+// runSelfcheckChaos executes one seeded chaos scenario (internal/chaos) and
+// maps invariant violations to a failing exit.
+func runSelfcheckChaos(seed int64, schedule string) error {
+	dir, err := os.MkdirTemp("", "riskd-chaos-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	rep, err := chaos.Run(chaos.Config{Seed: seed, Schedule: schedule, Dir: dir, Logf: log.Printf})
+	if err != nil {
+		return err
+	}
+	if len(rep.Violations) > 0 {
+		for _, v := range rep.Violations {
+			fmt.Fprintln(os.Stderr, "riskd: chaos violation:", v)
+		}
+		return fmt.Errorf("%d invariant violations (seed %d)", len(rep.Violations), seed)
+	}
+	fmt.Printf("riskd: selfcheck-chaos ok (seed %d: %d ok / %d errors, %d cache hits, %d retries, %d faults injected)\n",
+		rep.Seed, rep.OK, rep.Errors, rep.CacheHits, rep.Retries, rep.InjectedFaults)
+	return nil
 }
 
 // runSelfcheck exercises the full HTTP surface in-process: healthz, a cold

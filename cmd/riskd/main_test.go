@@ -1,0 +1,195 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+// TestServeDrainsInflight is the process-level graceful-shutdown contract:
+// a stop signal with N assessments mid-computation must flip /readyz to 503
+// while liveness stays 200, finish all N as 200s with provenance, write the
+// final snapshot, and only then return.
+func TestServeDrainsInflight(t *testing.T) {
+	const n = 3
+	dir := t.TempDir()
+	snap := filepath.Join(dir, "cache.snap")
+	started := make(chan struct{}, n)
+	block := make(chan struct{})
+	cfg := server.Config{
+		SnapshotPath: snap,
+		MaxInflight:  n,
+		AssessFn: func(ctx context.Context, job *server.Job) (*server.Outcome, error) {
+			started <- struct{}{}
+			<-block
+			return &server.Outcome{Mode: "recipe", Method: "stub"}, nil
+		},
+	}
+
+	ready := make(chan string, 1)
+	stop := make(chan struct{})
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- serve(cfg, "127.0.0.1:0", 10*time.Second, &serveHooks{ready: ready, stop: stop}) }()
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case err := <-serveErr:
+		t.Fatalf("serve exited before ready: %v", err)
+	}
+	client := &http.Client{Timeout: time.Minute}
+
+	status := func(path string) int {
+		resp, err := client.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := status("/readyz"); code != http.StatusOK {
+		t.Fatalf("readyz before drain: HTTP %d, want 200", code)
+	}
+
+	// N distinct requests, all blocked mid-computation.
+	type reply struct {
+		code int
+		resp server.AssessResponse
+	}
+	replies := make(chan reply, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			counts := make([]int, 10+i)
+			for j := range counts {
+				counts[j] = j + 1
+			}
+			body, _ := json.Marshal(server.AssessRequest{
+				Dataset: server.DatasetRef{Transactions: 2 * len(counts), Counts: counts},
+			})
+			resp, err := client.Post(base+"/v1/assess", "application/json", bytes.NewReader(body))
+			if err != nil {
+				replies <- reply{code: -1}
+				return
+			}
+			defer resp.Body.Close()
+			var out server.AssessResponse
+			json.NewDecoder(resp.Body).Decode(&out)
+			replies <- reply{code: resp.StatusCode, resp: out}
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		select {
+		case <-started:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("only %d/%d computations started", i, n)
+		}
+	}
+
+	// "SIGTERM": the drain begins, readiness flips, liveness does not, and
+	// the listener keeps serving while the blocked work finishes.
+	close(stop)
+	deadline := time.After(5 * time.Second)
+	for status("/readyz") != http.StatusServiceUnavailable {
+		select {
+		case <-deadline:
+			t.Fatal("readyz never flipped to 503 after the stop signal")
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+	if code := status("/healthz"); code != http.StatusOK {
+		t.Errorf("healthz during drain: HTTP %d, want 200 (liveness is not readiness)", code)
+	}
+	select {
+	case r := <-replies:
+		t.Fatalf("a blocked request returned during the drain: %+v", r)
+	default:
+	}
+
+	close(block)
+	for i := 0; i < n; i++ {
+		select {
+		case r := <-replies:
+			if r.code != http.StatusOK {
+				t.Errorf("drained request: HTTP %d, want 200 (no request may be dropped)", r.code)
+			}
+			if r.resp.Mode != "recipe" || r.resp.Method != "stub" {
+				t.Errorf("drained request lost provenance: mode=%q method=%q", r.resp.Mode, r.resp.Method)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("drained request never completed")
+		}
+	}
+	select {
+	case err := <-serveErr:
+		if err != nil {
+			t.Fatalf("serve returned %v after a clean drain", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve did not return after the drain completed")
+	}
+	if _, err := os.Stat(snap); err != nil {
+		t.Errorf("no final snapshot written on shutdown: %v", err)
+	}
+}
+
+// TestServeDrainTimeout: a computation that outlives the drain budget makes
+// serve report the failed drain instead of hanging forever.
+func TestServeDrainTimeout(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	started := make(chan struct{}, 1)
+	cfg := server.Config{
+		AssessFn: func(ctx context.Context, job *server.Job) (*server.Outcome, error) {
+			started <- struct{}{}
+			<-block
+			return &server.Outcome{Mode: "recipe", Method: "stub"}, nil
+		},
+	}
+	ready := make(chan string, 1)
+	stop := make(chan struct{})
+	serveErr := make(chan error, 1)
+	go func() {
+		serveErr <- serve(cfg, "127.0.0.1:0", 50*time.Millisecond, &serveHooks{ready: ready, stop: stop})
+	}()
+	base := "http://" + <-ready
+
+	go func() {
+		body := []byte(`{"dataset": {"transactions": 4, "counts": [1, 2]}}`)
+		resp, err := http.Post(base+"/v1/assess", "application/json", bytes.NewReader(body))
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	select {
+	case <-started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("computation never started")
+	}
+	close(stop)
+	select {
+	case err := <-serveErr:
+		if err == nil {
+			t.Error("serve returned nil despite an undrainable computation")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve did not give up after the drain timeout")
+	}
+}
+
+// TestSelfcheckChaosRuns: the flag path behind -selfcheck-chaos passes on
+// the default schedule.
+func TestSelfcheckChaosRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos selfcheck is not a -short test")
+	}
+	if err := runSelfcheckChaos(1, ""); err != nil {
+		t.Fatalf("selfcheck-chaos: %v", err)
+	}
+}

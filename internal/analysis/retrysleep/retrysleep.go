@@ -1,0 +1,93 @@
+// Package retrysleep bans naked time.Sleep retry loops. A loop that sleeps
+// a fixed interval between attempts is the degenerate retry policy: no
+// exponential growth, no jitter, no context cancellation — under load every
+// stalled caller wakes at the same moment and hammers the struggling
+// dependency again (the thundering-herd shape riskclient's full-jitter
+// backoff exists to prevent), and nothing interrupts the wait when the
+// caller's budget expires.
+//
+// The rule: time.Sleep may not appear lexically inside a for/range
+// statement. The sanctioned replacements are
+//
+//   - riskclient.Backoff (jittered exponential delays) together with a
+//     context-bounded wait, for retry loops, and
+//   - a time.Ticker or time.Timer inside a select, for polling loops that
+//     must also observe cancellation (see Server.DrainWait).
+//
+// internal/riskclient itself is exempt (Exempt): it is the package that
+// implements the sanctioned policy. One-shot sleeps outside loops are not
+// flagged — a single delay is a delay, not a policy.
+package retrysleep
+
+import (
+	"go/ast"
+	"go/token"
+
+	"repro/internal/analysis"
+)
+
+// Exempt lists the import paths the rule does not cover: the packages that
+// implement the sanctioned retry machinery. Tests substitute fixtures.
+var Exempt = map[string]bool{
+	"repro/internal/riskclient": true,
+}
+
+// Analyzer is the retrysleep check.
+var Analyzer = &analysis.Analyzer{
+	Name: "retrysleep",
+	Doc: "time.Sleep inside a loop is a naked retry/poll policy; use riskclient.Backoff " +
+		"with a context-bounded wait, or a Ticker in a select",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if Exempt[pass.Pkg.Path()] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		loops := collectLoops(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isTimeSleep(pass, call) {
+				return true
+			}
+			for _, l := range loops {
+				if l.pos <= call.Pos() && call.Pos() < l.end {
+					pass.Reportf(call.Pos(),
+						"time.Sleep inside a loop is a naked retry/poll: use riskclient.Backoff with a context-bounded wait, or a time.Ticker in a select")
+					break
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+type loopSpan struct{ pos, end token.Pos }
+
+func collectLoops(f *ast.File) []loopSpan {
+	var spans []loopSpan
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			spans = append(spans, loopSpan{n.Pos(), n.End()})
+		}
+		return true
+	})
+	return spans
+}
+
+func isTimeSleep(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	// Resolve through the types info: only the real time.Sleep counts, not
+	// a local function that happens to be named Sleep.
+	fn := pass.TypesInfo.Uses[sel.Sel]
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	return fn.Pkg().Path() == "time" && fn.Name() == "Sleep"
+}

@@ -1,0 +1,36 @@
+package retrysleep
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestFixture(t *testing.T) {
+	analysistest.Run(t, "../testdata/src/retrysleeptest", []*analysis.Analyzer{Analyzer}, nil)
+}
+
+func TestExemptPackageIsIgnored(t *testing.T) {
+	// The same sources registered as exempt (the riskclient role) must
+	// produce nothing: the fixture's want markers would fail analysistest,
+	// so drive the analyzer directly.
+	const fixture = "repro/internal/analysis/testdata/src/retrysleeptest"
+	Exempt[fixture] = true
+	defer delete(Exempt, fixture)
+	pkgs, err := analysis.Load("../testdata/src/retrysleeptest", ".")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	diags, err := analysis.Run(pkgs, func(string) []*analysis.Analyzer {
+		return []*analysis.Analyzer{Analyzer}
+	}, []string{"retrysleep"})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, d := range diags {
+		if d.Check == Analyzer.Name {
+			t.Errorf("exempt package got diagnostic: %s", analysis.Format(pkgs[0].Fset, d))
+		}
+	}
+}

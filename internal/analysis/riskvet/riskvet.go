@@ -11,6 +11,7 @@ import (
 	"repro/internal/analysis/detrand"
 	"repro/internal/analysis/errcmp"
 	"repro/internal/analysis/floateq"
+	"repro/internal/analysis/retrysleep"
 )
 
 // Analyzers is the full suite in reporting order.
@@ -19,6 +20,7 @@ var Analyzers = []*analysis.Analyzer{
 	detrand.Analyzer,
 	errcmp.Analyzer,
 	floateq.Analyzer,
+	retrysleep.Analyzer,
 }
 
 // Names returns the analyzer names plus the driver's own "suppress" check,

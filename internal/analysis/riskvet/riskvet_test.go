@@ -26,7 +26,7 @@ func TestCleanFixture(t *testing.T) {
 func TestNames(t *testing.T) {
 	want := map[string]bool{
 		"suppress": true, "ctxbudget": true, "detrand": true,
-		"errcmp": true, "floateq": true,
+		"errcmp": true, "floateq": true, "retrysleep": true,
 	}
 	got := Names()
 	if len(got) != len(want) {

@@ -1,0 +1,71 @@
+// Package retrysleeptest is the retrysleep fixture: naked sleeps in loops
+// must be flagged, everything else left alone.
+package retrysleeptest
+
+import (
+	"context"
+	"time"
+)
+
+// PollLoop is the canonical offense: a fixed-interval busy-wait.
+func PollLoop(ready func() bool) {
+	for !ready() {
+		time.Sleep(10 * time.Millisecond) // want `time\.Sleep inside a loop`
+	}
+}
+
+// RetryLoop is the other canonical offense: constant-delay retries.
+func RetryLoop(attempt func() error) error {
+	var err error
+	for i := 0; i < 3; i++ {
+		if err = attempt(); err == nil {
+			return nil
+		}
+		time.Sleep(time.Second) // want `time\.Sleep inside a loop`
+	}
+	return err
+}
+
+// RangeSleep sleeps per item — still a pacing loop.
+func RangeSleep(items []int, send func(int)) {
+	for _, it := range items {
+		send(it)
+		time.Sleep(time.Millisecond) // want `time\.Sleep inside a loop`
+	}
+}
+
+// NestedLiteral: the sleep sits in a func literal that the loop invokes;
+// lexical containment still catches it.
+func NestedLiteral(n int) {
+	for i := 0; i < n; i++ {
+		func() {
+			time.Sleep(time.Millisecond) // want `time\.Sleep inside a loop`
+		}()
+	}
+}
+
+// OneShot is a delay, not a policy: allowed.
+func OneShot() {
+	time.Sleep(50 * time.Millisecond)
+}
+
+// TickerPoll is the sanctioned polling shape: cancellable, no naked sleep.
+func TickerPoll(ctx context.Context, ready func() bool) error {
+	tick := time.NewTicker(10 * time.Millisecond)
+	defer tick.Stop()
+	for !ready() {
+		select {
+		case <-tick.C:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return nil
+}
+
+// NamedSleep: a local function named Sleep is not time.Sleep.
+func NamedSleep(sleep func(time.Duration)) {
+	for i := 0; i < 3; i++ {
+		sleep(time.Millisecond)
+	}
+}

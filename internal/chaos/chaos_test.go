@@ -1,0 +1,74 @@
+package chaos
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestChaosSeedMatrix runs the full scenario — fault phase, breaker script,
+// drain, snapshot scan, kill-and-restart — for each fixed seed. ci.sh
+// -chaos runs this under -race.
+func TestChaosSeedMatrix(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rep, err := Run(Config{Seed: seed, Dir: t.TempDir(), Logf: t.Logf})
+			if err != nil {
+				t.Fatalf("harness failure: %v", err)
+			}
+			for _, v := range rep.Violations {
+				t.Errorf("invariant violation: %s", v)
+			}
+			// The run must have actually exercised the machinery, not
+			// vacuously passed.
+			if rep.OK == 0 {
+				t.Error("no successful requests in the fault phase")
+			}
+			if rep.CacheHits == 0 {
+				t.Error("no cache hits despite repeated digests")
+			}
+			if rep.InjectedFaults == 0 {
+				t.Error("the schedule injected no faults")
+			}
+			if rep.Retries == 0 {
+				t.Error("transport faults caused no retries")
+			}
+			if rep.BreakerOpens != 2 {
+				t.Errorf("breaker opened %d times, want exactly 2 (threshold + failed probe)", rep.BreakerOpens)
+			}
+			if rep.DrainAnswered != 4 {
+				t.Errorf("drain answered %d requests, want all 4", rep.DrainAnswered)
+			}
+			if rep.SnapshotLoaded == 0 {
+				t.Error("restart loaded nothing from the snapshot")
+			}
+		})
+	}
+}
+
+// TestChaosDeterminism: identical seeds inject identical faults and land on
+// identical counters.
+func TestChaosDeterminism(t *testing.T) {
+	run := func() *Report {
+		rep, err := Run(Config{Seed: 7, Dir: t.TempDir()})
+		if err != nil {
+			t.Fatalf("harness failure: %v", err)
+		}
+		return rep
+	}
+	a, b := run(), run()
+	if a.InjectedFaults != b.InjectedFaults {
+		t.Errorf("injected faults differ across identical runs: %d vs %d", a.InjectedFaults, b.InjectedFaults)
+	}
+	if a.OK != b.OK || a.Errors != b.Errors {
+		t.Errorf("outcomes differ across identical runs: %d/%d vs %d/%d", a.OK, a.Errors, b.OK, b.Errors)
+	}
+}
+
+func TestChaosConfigValidation(t *testing.T) {
+	if _, err := Run(Config{Seed: 1}); err == nil {
+		t.Error("Run without Dir should fail")
+	}
+	if _, err := Run(Config{Seed: 1, Dir: t.TempDir(), Schedule: "not-a-schedule"}); err == nil {
+		t.Error("Run with a malformed schedule should fail")
+	}
+}

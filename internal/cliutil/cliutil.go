@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/budget"
+	"repro/internal/faultinject"
 	"repro/internal/parallel"
 )
 
@@ -94,6 +95,37 @@ func ProfileFlags() func() (stop func(), err error) {
 				}
 			}
 		}, nil
+	}
+}
+
+// FaultConfig holds the parsed fault-injection flags. The schedule and seed
+// stay accessible as raw values because the chaos selfcheck forwards them to
+// internal/chaos rather than building an injector itself.
+type FaultConfig struct {
+	Schedule *string
+	Seed     *int64
+}
+
+// Injector builds the configured injector after flag.Parse: nil (no
+// injection) when no schedule was given, an error when the schedule does not
+// parse.
+func (fc *FaultConfig) Injector() (*faultinject.Injector, error) {
+	if *fc.Schedule == "" {
+		return nil, nil
+	}
+	return faultinject.NewFromSchedule(*fc.Seed, *fc.Schedule)
+}
+
+// FaultFlags registers -fault-schedule and -fault-seed on the default flag
+// set. Fault injection is how riskd's robustness claims stay testable
+// end-to-end (ci.sh -chaos, riskd -selfcheck-chaos); in normal operation the
+// schedule is empty and the flags cost nothing.
+func FaultFlags() *FaultConfig {
+	return &FaultConfig{
+		Schedule: flag.String("fault-schedule", "",
+			"deterministic fault-injection schedule (\"op:selector:action; ...\", see internal/faultinject); empty = off"),
+		Seed: flag.Int64("fault-seed", 1,
+			"seed for probabilistic fault selectors and chaos runs"),
 	}
 }
 

@@ -1,0 +1,423 @@
+// Package faultinject is the deterministic fault injector behind the chaos
+// suite (internal/chaos, ci.sh -chaos) and riskd's -fault-schedule flag. The
+// robustness claims this repo makes — degraded results never cached, no
+// computation lost on drain, a restarted riskd serves warm from its snapshot
+// — are only claims until something adversarial exercises them; this package
+// is that something, built so every failure it produces is reproducible from
+// a seed and a schedule string.
+//
+// A schedule is a semicolon-separated list of clauses, each
+//
+//	op ':' selector ':' action
+//
+// where op names an instrumentation point ("compute", "cache.store",
+// "transport", "snapshot" in riskd; any string works), selector picks which
+// occurrences fire, and action says what happens:
+//
+//	selector: nth=K     fire on the Kth occurrence only (1-based)
+//	          every=K   fire on every Kth occurrence
+//	          after=K   fire on every occurrence past the Kth
+//	          prob=P    fire with probability P (seeded, deterministic
+//	                    for a fixed seed and call order)
+//	action:   err           the operation fails with ErrInjected
+//	          latency=DUR   the operation is delayed by DUR first
+//	          partial=N     a write is cut off after N bytes (Writer)
+//	          crash         the operation fails with ErrCrash, standing in
+//	                        for a process death at this point
+//
+// Example: "cache.store:nth=3:err; compute:every=5:latency=200ms" fails the
+// third cache store and slows every fifth computation.
+//
+// The injector only decides; callers apply. Apply evaluates an op and
+// enforces latency + error faults against a context; Transport and Writer
+// wrap an http.RoundTripper and an io.Writer the same way. Faults compose:
+// when several clauses fire on one occurrence the latencies add, the first
+// error-class action (err before crash, in clause order) supplies the
+// error, and the smallest partial-write limit wins.
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ErrInjected is the failure every err-action fault surfaces. Callers and
+// tests match it with errors.Is to tell injected trouble from real bugs.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// ErrCrash marks a crash point: the harness treats the operation's owner as
+// having died there (abandon the instance, restart, recover), rather than as
+// an ordinary failed call.
+var ErrCrash = errors.New("faultinject: crash point")
+
+// Fault is the combined decision for one occurrence of an op.
+type Fault struct {
+	// Latency delays the operation before any error applies.
+	Latency time.Duration
+	// Err is non-nil when the operation must fail (ErrInjected or ErrCrash,
+	// wrapped with the op name).
+	Err error
+	// Partial is the byte limit for a cut-off write; -1 means no limit.
+	Partial int
+}
+
+// Rule is one parsed schedule clause.
+type Rule struct {
+	Op string
+
+	// Exactly one selector is set (non-zero).
+	Nth   int
+	Every int
+	After int
+	Prob  float64
+
+	// Exactly one action is set.
+	Err        bool
+	Crash      bool
+	Latency    time.Duration
+	Partial    int // valid when PartialSet
+	PartialSet bool
+}
+
+// fires reports whether the rule triggers on occurrence n (1-based) of its
+// op; draw supplies the seeded uniform for prob selectors.
+func (r *Rule) fires(n int, draw func() float64) bool {
+	switch {
+	case r.Nth > 0:
+		return n == r.Nth
+	case r.Every > 0:
+		return n%r.Every == 0
+	case r.After > 0:
+		return n > r.After
+	case r.Prob > 0:
+		return draw() < r.Prob
+	}
+	return false
+}
+
+// Parse compiles a schedule string into rules. An empty (or all-whitespace)
+// schedule is valid and yields no rules.
+func Parse(schedule string) ([]Rule, error) {
+	var rules []Rule
+	for _, clause := range strings.Split(schedule, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		parts := strings.SplitN(clause, ":", 3)
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("faultinject: clause %q: want op:selector:action", clause)
+		}
+		r := Rule{Op: strings.TrimSpace(parts[0])}
+		if r.Op == "" {
+			return nil, fmt.Errorf("faultinject: clause %q: empty op", clause)
+		}
+		if err := parseSelector(&r, strings.TrimSpace(parts[1])); err != nil {
+			return nil, fmt.Errorf("faultinject: clause %q: %w", clause, err)
+		}
+		if err := parseAction(&r, strings.TrimSpace(parts[2])); err != nil {
+			return nil, fmt.Errorf("faultinject: clause %q: %w", clause, err)
+		}
+		rules = append(rules, r)
+	}
+	return rules, nil
+}
+
+func parseSelector(r *Rule, s string) error {
+	key, val, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("selector %q: want nth=K, every=K, after=K, or prob=P", s)
+	}
+	switch key {
+	case "nth", "every", "after":
+		n, err := strconv.Atoi(val)
+		if err != nil || n <= 0 {
+			return fmt.Errorf("selector %q: want a positive integer", s)
+		}
+		switch key {
+		case "nth":
+			r.Nth = n
+		case "every":
+			r.Every = n
+		case "after":
+			r.After = n
+		}
+	case "prob":
+		p, err := strconv.ParseFloat(val, 64)
+		if err != nil || p <= 0 || p > 1 {
+			return fmt.Errorf("selector %q: want a probability in (0, 1]", s)
+		}
+		r.Prob = p
+	default:
+		return fmt.Errorf("selector %q: unknown kind %q", s, key)
+	}
+	return nil
+}
+
+func parseAction(r *Rule, s string) error {
+	key, val, hasVal := strings.Cut(s, "=")
+	switch key {
+	case "err":
+		if hasVal {
+			return fmt.Errorf("action %q: err takes no value", s)
+		}
+		r.Err = true
+	case "crash":
+		if hasVal {
+			return fmt.Errorf("action %q: crash takes no value", s)
+		}
+		r.Crash = true
+	case "latency":
+		d, err := time.ParseDuration(val)
+		if err != nil || d <= 0 {
+			return fmt.Errorf("action %q: want a positive duration", s)
+		}
+		r.Latency = d
+	case "partial":
+		n, err := strconv.Atoi(val)
+		if err != nil || n < 0 {
+			return fmt.Errorf("action %q: want a byte count >= 0", s)
+		}
+		r.Partial = n
+		r.PartialSet = true
+	default:
+		return fmt.Errorf("action %q: unknown kind %q", s, key)
+	}
+	return nil
+}
+
+// OpStats counts one op's traffic through the injector.
+type OpStats struct {
+	Calls    int64 `json:"calls"`
+	Faults   int64 `json:"faults"`
+	Errors   int64 `json:"errors"`
+	Crashes  int64 `json:"crashes"`
+	Delays   int64 `json:"delays"`
+	Partials int64 `json:"partials"`
+}
+
+// Injector evaluates a schedule against a stream of operation occurrences.
+// All methods are safe for concurrent use; for a fixed seed, schedule, and
+// sequence of Eval calls the injected faults are identical run to run.
+type Injector struct {
+	mu     sync.Mutex
+	rules  []Rule
+	rng    *rand.Rand
+	counts map[string]int
+	stats  map[string]*OpStats
+	sleep  func(ctx context.Context, d time.Duration) error
+}
+
+// New builds an injector over rules. seed drives the prob selectors; two
+// injectors with the same seed and rules make identical decisions.
+func New(seed int64, rules ...Rule) *Injector {
+	return &Injector{
+		rules:  rules,
+		rng:    rand.New(rand.NewSource(seed)),
+		counts: make(map[string]int),
+		stats:  make(map[string]*OpStats),
+		sleep:  ctxSleep,
+	}
+}
+
+// NewFromSchedule parses schedule and builds an injector in one step.
+func NewFromSchedule(seed int64, schedule string) (*Injector, error) {
+	rules, err := Parse(schedule)
+	if err != nil {
+		return nil, err
+	}
+	return New(seed, rules...), nil
+}
+
+// SetSleep replaces the latency sleeper (tests substitute a recorder so
+// latency faults don't cost wall-clock time). The default sleeps on a timer
+// but returns early with the context's error when it ends first.
+func (in *Injector) SetSleep(sleep func(ctx context.Context, d time.Duration) error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.sleep = sleep
+}
+
+func ctxSleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Eval records one occurrence of op and returns the combined fault decision.
+// A zero Fault (Partial == -1) means "proceed normally".
+func (in *Injector) Eval(op string) Fault {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.counts[op]++
+	n := in.counts[op]
+	st := in.stats[op]
+	if st == nil {
+		st = &OpStats{}
+		in.stats[op] = st
+	}
+	st.Calls++
+
+	f := Fault{Partial: -1}
+	fired := false
+	for i := range in.rules {
+		r := &in.rules[i]
+		if r.Op != op || !r.fires(n, in.rng.Float64) {
+			continue
+		}
+		fired = true
+		switch {
+		case r.Err:
+			if f.Err == nil {
+				f.Err = fmt.Errorf("%w (op %s, occurrence %d)", ErrInjected, op, n)
+				st.Errors++
+			}
+		case r.Crash:
+			if f.Err == nil {
+				f.Err = fmt.Errorf("%w (op %s, occurrence %d)", ErrCrash, op, n)
+				st.Crashes++
+			}
+		case r.Latency > 0:
+			f.Latency += r.Latency
+			st.Delays++
+		case r.PartialSet:
+			if f.Partial < 0 || r.Partial < f.Partial {
+				f.Partial = r.Partial
+			}
+			st.Partials++
+		}
+	}
+	if fired {
+		st.Faults++
+	}
+	return f
+}
+
+// Apply evaluates op and enforces the latency and error parts of the
+// decision: it sleeps any injected latency (bounded by ctx) and returns the
+// injected error, ctx's error, or nil. Partial-write limits don't apply to
+// plain operations; use Writer for those.
+func (in *Injector) Apply(ctx context.Context, op string) error {
+	f := in.Eval(op)
+	if f.Latency > 0 {
+		in.mu.Lock()
+		sleep := in.sleep
+		in.mu.Unlock()
+		if err := sleep(ctx, f.Latency); err != nil {
+			return err
+		}
+	}
+	return f.Err
+}
+
+// Stats snapshots the per-op counters, keyed by op name.
+func (in *Injector) Stats() map[string]OpStats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make(map[string]OpStats, len(in.stats))
+	for op, st := range in.stats {
+		out[op] = *st
+	}
+	return out
+}
+
+// TotalFaults sums injected faults across all ops.
+func (in *Injector) TotalFaults() int64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	var n int64
+	for _, st := range in.stats {
+		n += st.Faults
+	}
+	return n
+}
+
+// Ops returns the op names seen so far, sorted (stable diagnostics).
+func (in *Injector) Ops() []string {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	ops := make([]string, 0, len(in.counts))
+	for op := range in.counts {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	return ops
+}
+
+// Transport wraps rt so every round trip first passes through the injector
+// as op. Injected latency delays the request (respecting the request
+// context); injected errors fail it before it reaches the wire, the way a
+// dead peer or a dropped connection would. A nil rt wraps
+// http.DefaultTransport.
+func Transport(rt http.RoundTripper, in *Injector, op string) http.RoundTripper {
+	if rt == nil {
+		rt = http.DefaultTransport
+	}
+	return &faultTransport{rt: rt, in: in, op: op}
+}
+
+type faultTransport struct {
+	rt http.RoundTripper
+	in *Injector
+	op string
+}
+
+func (t *faultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if err := t.in.Apply(req.Context(), t.op); err != nil {
+		return nil, err
+	}
+	return t.rt.RoundTrip(req)
+}
+
+// Writer wraps w with one fault decision for the whole stream, evaluated
+// now: an err/crash decision fails the first Write, and a partial=N decision
+// lets N bytes through before failing — the shape of a torn write at a
+// process death. With no fault the writer is transparent.
+func Writer(w io.Writer, in *Injector, op string) io.Writer {
+	f := in.Eval(op)
+	return &faultWriter{w: w, f: f}
+}
+
+type faultWriter struct {
+	w       io.Writer
+	f       Fault
+	written int
+}
+
+func (fw *faultWriter) Write(p []byte) (int, error) {
+	if fw.f.Err != nil {
+		return 0, fw.f.Err
+	}
+	if fw.f.Partial < 0 {
+		return fw.w.Write(p)
+	}
+	remain := fw.f.Partial - fw.written
+	if remain <= 0 {
+		return 0, fmt.Errorf("%w (partial write cut off at %d bytes)", ErrInjected, fw.f.Partial)
+	}
+	if len(p) <= remain {
+		n, err := fw.w.Write(p)
+		fw.written += n
+		return n, err
+	}
+	n, err := fw.w.Write(p[:remain])
+	fw.written += n
+	if err != nil {
+		return n, err
+	}
+	return n, fmt.Errorf("%w (partial write cut off at %d bytes)", ErrInjected, fw.f.Partial)
+}

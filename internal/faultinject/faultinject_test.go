@@ -1,0 +1,232 @@
+package faultinject
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseSchedule(t *testing.T) {
+	rules, err := Parse("cache.store:nth=3:err; compute:every=5:latency=200ms;transport:prob=0.25:err; snapshot:nth=1:partial=64; compute:after=10:crash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 5 {
+		t.Fatalf("got %d rules, want 5", len(rules))
+	}
+	if r := rules[0]; r.Op != "cache.store" || r.Nth != 3 || !r.Err {
+		t.Errorf("rule 0 = %+v", r)
+	}
+	if r := rules[1]; r.Op != "compute" || r.Every != 5 || r.Latency != 200*time.Millisecond {
+		t.Errorf("rule 1 = %+v", r)
+	}
+	if r := rules[2]; r.Op != "transport" || r.Prob != 0.25 || !r.Err {
+		t.Errorf("rule 2 = %+v", r)
+	}
+	if r := rules[3]; r.Op != "snapshot" || r.Nth != 1 || !r.PartialSet || r.Partial != 64 {
+		t.Errorf("rule 3 = %+v", r)
+	}
+	if r := rules[4]; r.Op != "compute" || r.After != 10 || !r.Crash {
+		t.Errorf("rule 4 = %+v", r)
+	}
+
+	if rules, err := Parse("  ; ; "); err != nil || len(rules) != 0 {
+		t.Errorf("blank schedule: rules=%v err=%v, want empty, nil", rules, err)
+	}
+
+	bad := []string{
+		"compute:every=5",            // missing action
+		"compute:sometimes:err",      // unknown selector
+		"compute:nth=0:err",          // non-positive occurrence
+		"compute:prob=1.5:err",       // probability out of range
+		"compute:nth=1:explode",      // unknown action
+		"compute:nth=1:latency=-3ms", // negative latency
+		"compute:nth=1:partial=-1",   // negative byte count
+		"compute:nth=1:err=yes",      // err takes no value
+		":nth=1:err",                 // empty op
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q): want error", s)
+		}
+	}
+}
+
+func TestSelectors(t *testing.T) {
+	in := New(1,
+		Rule{Op: "a", Nth: 3, Err: true},
+		Rule{Op: "b", Every: 2, Err: true},
+		Rule{Op: "c", After: 4, Err: true},
+	)
+	var aFail, bFail, cFail []int
+	for i := 1; i <= 6; i++ {
+		if f := in.Eval("a"); f.Err != nil {
+			aFail = append(aFail, i)
+		}
+		if f := in.Eval("b"); f.Err != nil {
+			bFail = append(bFail, i)
+		}
+		if f := in.Eval("c"); f.Err != nil {
+			cFail = append(cFail, i)
+		}
+	}
+	if len(aFail) != 1 || aFail[0] != 3 {
+		t.Errorf("nth=3 fired on %v, want [3]", aFail)
+	}
+	if want := []int{2, 4, 6}; len(bFail) != 3 || bFail[0] != 2 || bFail[1] != 4 || bFail[2] != 6 {
+		t.Errorf("every=2 fired on %v, want %v", bFail, want)
+	}
+	if want := []int{5, 6}; len(cFail) != 2 || cFail[0] != 5 || cFail[1] != 6 {
+		t.Errorf("after=4 fired on %v, want %v", cFail, want)
+	}
+}
+
+func TestProbDeterministicForSeed(t *testing.T) {
+	run := func(seed int64) []bool {
+		in := New(seed, Rule{Op: "x", Prob: 0.5, Err: true})
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = in.Eval("x").Err != nil
+		}
+		return out
+	}
+	a, b := run(7), run(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at occurrence %d", i+1)
+		}
+	}
+	fires := 0
+	for _, hit := range a {
+		if hit {
+			fires++
+		}
+	}
+	if fires == 0 || fires == len(a) {
+		t.Errorf("prob=0.5 fired %d/%d times; selector looks constant", fires, len(a))
+	}
+}
+
+func TestFaultComposition(t *testing.T) {
+	in := New(1,
+		Rule{Op: "x", Nth: 1, Latency: 50 * time.Millisecond},
+		Rule{Op: "x", Nth: 1, Latency: 30 * time.Millisecond},
+		Rule{Op: "x", Nth: 1, Err: true},
+	)
+	f := in.Eval("x")
+	if f.Latency != 80*time.Millisecond {
+		t.Errorf("latencies did not add: %v", f.Latency)
+	}
+	if !errors.Is(f.Err, ErrInjected) {
+		t.Errorf("err rule did not apply: %v", f.Err)
+	}
+}
+
+func TestApplySleepsAndFails(t *testing.T) {
+	in := New(1,
+		Rule{Op: "x", Nth: 1, Latency: 250 * time.Millisecond},
+		Rule{Op: "x", Nth: 2, Err: true},
+		Rule{Op: "x", Nth: 3, Crash: true},
+	)
+	var slept time.Duration
+	in.SetSleep(func(_ context.Context, d time.Duration) error {
+		slept += d
+		return nil
+	})
+	if err := in.Apply(context.Background(), "x"); err != nil {
+		t.Errorf("occurrence 1: %v, want latency only", err)
+	}
+	if slept != 250*time.Millisecond {
+		t.Errorf("slept %v, want 250ms", slept)
+	}
+	if err := in.Apply(context.Background(), "x"); !errors.Is(err, ErrInjected) {
+		t.Errorf("occurrence 2: %v, want ErrInjected", err)
+	}
+	if err := in.Apply(context.Background(), "x"); !errors.Is(err, ErrCrash) {
+		t.Errorf("occurrence 3: %v, want ErrCrash", err)
+	}
+	st := in.Stats()["x"]
+	if st.Calls != 3 || st.Faults != 3 || st.Errors != 1 || st.Crashes != 1 || st.Delays != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if in.TotalFaults() != 3 {
+		t.Errorf("TotalFaults = %d, want 3", in.TotalFaults())
+	}
+}
+
+func TestApplyLatencyRespectsContext(t *testing.T) {
+	in := New(1, Rule{Op: "x", Nth: 1, Latency: time.Hour})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := in.Apply(ctx, "x")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want deadline exceeded", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Error("Apply slept past its context")
+	}
+}
+
+func TestTransport(t *testing.T) {
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer backend.Close()
+
+	in := New(1, Rule{Op: "transport", Every: 2, Err: true})
+	client := &http.Client{Transport: Transport(nil, in, "transport")}
+	for i := 1; i <= 4; i++ {
+		resp, err := client.Get(backend.URL)
+		if i%2 == 0 {
+			if err == nil || !errors.Is(err, ErrInjected) {
+				t.Errorf("request %d: err = %v, want injected", i, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		resp.Body.Close()
+	}
+}
+
+func TestWriterPartial(t *testing.T) {
+	in := New(1, Rule{Op: "snap", Nth: 2, Partial: 10, PartialSet: true})
+
+	var clean bytes.Buffer
+	w := Writer(&clean, in, "snap")
+	if _, err := w.Write([]byte("hello world, this flows through")); err != nil {
+		t.Fatalf("clean write: %v", err)
+	}
+
+	var torn bytes.Buffer
+	w = Writer(&torn, in, "snap")
+	n, err := w.Write([]byte("0123456"))
+	if n != 7 || err != nil {
+		t.Fatalf("first chunk: n=%d err=%v", n, err)
+	}
+	n, err = w.Write([]byte("789abcdef"))
+	if n != 3 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("second chunk: n=%d err=%v, want 3 bytes then injected error", n, err)
+	}
+	if got := torn.String(); got != "0123456789" {
+		t.Errorf("torn stream = %q, want exactly the first 10 bytes", got)
+	}
+	if _, err := w.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Errorf("write after cut-off: %v, want injected error", err)
+	}
+}
+
+func TestWriterErr(t *testing.T) {
+	in := New(1, Rule{Op: "snap", Nth: 1, Err: true})
+	w := Writer(&strings.Builder{}, in, "snap")
+	if _, err := w.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Errorf("err = %v, want injected", err)
+	}
+}

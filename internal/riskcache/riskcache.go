@@ -79,6 +79,11 @@ type Stats struct {
 	Misses    int64 `json:"misses"`
 	Evictions int64 `json:"evictions"`
 	Coalesced int64 `json:"coalesced"`
+	// StoreFailed counts computed results that could not be stored because
+	// the store hook refused (fault injection, or a real admission policy).
+	// The result was still returned to its callers; only the caching was
+	// lost, so the next identical request recomputes.
+	StoreFailed int64 `json:"store_failed"`
 }
 
 type call[V any] struct {
@@ -96,15 +101,17 @@ type entry[V any] struct {
 // zero value is not usable; construct with New. All methods are safe for
 // concurrent use.
 type Cache[V any] struct {
-	mu         sync.Mutex
-	maxEntries int
-	ll         *list.List
-	entries    map[string]*list.Element
-	inflight   map[string]*call[V]
-	hits       int64
-	misses     int64
-	evictions  int64
-	coalesced  int64
+	mu          sync.Mutex
+	maxEntries  int
+	ll          *list.List
+	entries     map[string]*list.Element
+	inflight    map[string]*call[V]
+	storeHook   func(key string) error
+	hits        int64
+	misses      int64
+	evictions   int64
+	coalesced   int64
+	storeFailed int64
 }
 
 // New creates a cache holding at most maxEntries completed results
@@ -116,6 +123,18 @@ func New[V any](maxEntries int) *Cache[V] {
 		entries:    make(map[string]*list.Element),
 		inflight:   make(map[string]*call[V]),
 	}
+}
+
+// SetStoreHook installs a gate in front of every store of a computed
+// result: a non-nil error from the hook skips the store (the value is still
+// returned to callers) and bumps Stats.StoreFailed. The fault-injection
+// harness uses it to model a cache backend that drops writes; nil removes
+// the gate. Not safe to call concurrently with GetOrCompute — install it
+// before serving.
+func (c *Cache[V]) SetStoreHook(hook func(key string) error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.storeHook = hook
 }
 
 // Get returns the cached value for key, marking it most recently used.
@@ -176,7 +195,15 @@ func (c *Cache[V]) GetOrCompute(ctx context.Context, key string, compute func() 
 	c.mu.Lock()
 	delete(c.inflight, key)
 	if err == nil && cacheable {
-		c.add(key, val)
+		if c.storeHook != nil {
+			if hookErr := c.storeHook(key); hookErr != nil {
+				c.storeFailed++
+			} else {
+				c.add(key, val)
+			}
+		} else {
+			c.add(key, val)
+		}
 	}
 	c.mu.Unlock()
 	return val, Computed, err
@@ -210,10 +237,11 @@ func (c *Cache[V]) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return Stats{
-		Entries:   c.ll.Len(),
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Evictions: c.evictions,
-		Coalesced: c.coalesced,
+		Entries:     c.ll.Len(),
+		Hits:        c.hits,
+		Misses:      c.misses,
+		Evictions:   c.evictions,
+		Coalesced:   c.coalesced,
+		StoreFailed: c.storeFailed,
 	}
 }

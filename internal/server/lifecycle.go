@@ -1,0 +1,248 @@
+// Drain-aware lifecycle, adaptive Retry-After, and cache snapshots — the
+// operational half of riskd that makes restarts boring:
+//
+//   - Readiness is distinct from liveness. /healthz answers "is the process
+//     up"; /readyz answers "should a load balancer send traffic here" and
+//     flips to 503 the moment BeginDrain is called, before any connection is
+//     closed, so upstream routing moves on while in-flight work finishes.
+//   - DrainWait turns "graceful shutdown" from a hope into an invariant: it
+//     blocks until every accepted assessment has been answered (or the drain
+//     deadline expires), so a SIGTERM never loses a computation that a
+//     client was waiting on.
+//   - The Retry-After hint on 503s is derived from an EWMA of observed
+//     compute latency instead of the static -timeout: a server that is slow
+//     because its datasets are big tells clients to come back when a
+//     computation actually finishes, clamped to [1s, 60s].
+//   - Snapshots persist the assessment cache across restarts (riskcache
+//     snapshot format: atomic rename, per-entry checksums). Degraded
+//     outcomes are excluded twice — skipped at encode and rejected at decode
+//     — so the never-cache-degraded invariant survives the round trip even
+//     against a stale or hand-edited snapshot file.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/riskcache"
+)
+
+// handleReadyz is the routing signal: 200 while the server wants traffic,
+// 503 from BeginDrain onward. Liveness (/healthz) stays 200 throughout a
+// drain — the process is healthy, it just doesn't want new work.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status":        "draining",
+			"inflight_jobs": s.inflightJobs.Load(),
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
+}
+
+// BeginDrain flips readiness to 503. Requests already accepted — and any
+// that still arrive on open connections — are served normally; only the
+// advertised willingness to take new traffic changes. Idempotent.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// InflightJobs returns the number of accepted assess requests not yet
+// answered.
+func (s *Server) InflightJobs() int64 { return s.inflightJobs.Load() }
+
+// CompletedJobs returns the number of assess requests answered with a 200.
+func (s *Server) CompletedJobs() int64 { return s.completedJobs.Load() }
+
+// DrainWait blocks until no assess requests are in flight or ctx ends,
+// whichever comes first. Call after BeginDrain (and typically after
+// http.Server.Shutdown) to guarantee every accepted computation was
+// answered before the process exits.
+func (s *Server) DrainWait(ctx context.Context) error {
+	if s.inflightJobs.Load() == 0 {
+		return nil
+	}
+	tick := time.NewTicker(5 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			if s.inflightJobs.Load() == 0 {
+				return nil
+			}
+		case <-ctx.Done():
+			return fmt.Errorf("server: drain deadline with %d requests in flight: %w",
+				s.inflightJobs.Load(), ctx.Err())
+		}
+	}
+}
+
+// ewmaAlpha weights the newest compute latency sample at 20%: heavy enough
+// to track a load shift within a handful of requests, light enough that one
+// outlier doesn't swing the Retry-After hint.
+const ewmaAlpha = 0.2
+
+// observeLatency folds one successful computation's wall time into the EWMA.
+func (s *Server) observeLatency(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	s.latMu.Lock()
+	if s.ewmaMS == 0 {
+		s.ewmaMS = ms
+	} else {
+		s.ewmaMS = ewmaAlpha*ms + (1-ewmaAlpha)*s.ewmaMS
+	}
+	s.latMu.Unlock()
+}
+
+// ewmaComputeMS returns the current latency estimate (0: no sample yet).
+func (s *Server) ewmaComputeMS() float64 {
+	s.latMu.Lock()
+	defer s.latMu.Unlock()
+	return s.ewmaMS
+}
+
+// retryAfterSeconds derives the 503 Retry-After hint: the EWMA of compute
+// latency rounded up to whole seconds, clamped to [1, 60]. Before any
+// computation has finished it falls back to the configured timeout (a
+// reasonable proxy for how long work takes here), then to 1s.
+func (s *Server) retryAfterSeconds() int {
+	var sec float64
+	switch e := s.ewmaComputeMS(); {
+	case e > 0:
+		sec = math.Ceil(e / 1000)
+	case s.cfg.Timeout > 0:
+		sec = math.Ceil(s.cfg.Timeout.Seconds())
+	default:
+		sec = 1
+	}
+	if sec < 1 {
+		sec = 1
+	}
+	if sec > 60 {
+		sec = 60
+	}
+	return int(sec)
+}
+
+// snapshotEncode serializes one outcome for the snapshot file. Degraded
+// outcomes are skipped — they should never be in the cache in the first
+// place (GetOrCompute refuses to store them), so this is the second layer
+// of the same invariant.
+func snapshotEncode(o *Outcome) ([]byte, error) {
+	if o.Degraded {
+		return nil, riskcache.ErrSkipEntry
+	}
+	return json.Marshal(o)
+}
+
+// snapshotDecode deserializes one snapshot entry, rejecting anything
+// degraded: a snapshot written by a buggy or older build cannot smuggle a
+// conservative answer into a fresh cache.
+func snapshotDecode(b []byte) (*Outcome, bool, error) {
+	var o Outcome
+	if err := json.Unmarshal(b, &o); err != nil {
+		return nil, false, err
+	}
+	if o.Degraded {
+		return nil, false, nil
+	}
+	return &o, true, nil
+}
+
+// LoadSnapshot warms the cache from Config.SnapshotPath. A missing file or
+// a file that is not a snapshot is a cold start, not an error; corrupt
+// entries are skipped individually (riskcache.ReadSnapshot semantics).
+func (s *Server) LoadSnapshot() (loaded, skipped int, err error) {
+	if s.cfg.SnapshotPath == "" {
+		return 0, 0, nil
+	}
+	loaded, skipped, err = s.cache.LoadFile(s.cfg.SnapshotPath, snapshotDecode)
+	if errors.Is(err, riskcache.ErrBadSnapshot) {
+		return 0, 0, nil
+	}
+	s.snapLoaded.Add(int64(loaded))
+	s.snapSkipped.Add(int64(skipped))
+	return loaded, skipped, err
+}
+
+// SaveSnapshot writes the cache to Config.SnapshotPath crash-safely (temp
+// file + fsync + atomic rename; a failure keeps the previous snapshot).
+// When a fault injector is configured its "snapshot" op interposes on the
+// byte stream, which is how the chaos suite tears writes mid-snapshot.
+func (s *Server) SaveSnapshot() (int, error) {
+	if s.cfg.SnapshotPath == "" {
+		return 0, nil
+	}
+	var wrap func(io.Writer) io.Writer
+	if inj := s.cfg.Injector; inj != nil {
+		wrap = func(w io.Writer) io.Writer {
+			return faultinject.Writer(w, inj, "snapshot")
+		}
+	}
+	n, err := s.cache.SaveFile(s.cfg.SnapshotPath, snapshotEncode, wrap)
+	if err != nil {
+		s.snapFailures.Add(1)
+		return n, err
+	}
+	s.snapWrites.Add(1)
+	s.snapEntries.Store(int64(n))
+	return n, nil
+}
+
+// StartSnapshots launches the periodic snapshot writer (no-op without a
+// SnapshotPath, or if already running). A failed write keeps the previous
+// snapshot and bumps the failure counter; the next tick tries again.
+func (s *Server) StartSnapshots() {
+	if s.cfg.SnapshotPath == "" {
+		return
+	}
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	if s.snapStop != nil {
+		return
+	}
+	interval := s.cfg.SnapshotInterval
+	if interval <= 0 {
+		interval = time.Minute
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	s.snapStop, s.snapDone = stop, done
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				_, _ = s.SaveSnapshot()
+			case <-stop:
+				return
+			}
+		}
+	}()
+}
+
+// StopSnapshots stops the periodic writer and waits for it to exit. It does
+// not write a final snapshot — shutdown sequences call SaveSnapshot
+// explicitly after the drain, so the file reflects the drained state.
+func (s *Server) StopSnapshots() {
+	s.snapMu.Lock()
+	stop, done := s.snapStop, s.snapDone
+	s.snapStop, s.snapDone = nil, nil
+	s.snapMu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}

@@ -33,13 +33,13 @@ import (
 	"errors"
 	"fmt"
 	"io/fs"
-	"math"
 	"math/rand"
 	"net/http"
 	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -50,6 +50,7 @@ import (
 	"repro/internal/budget"
 	"repro/internal/cliutil"
 	"repro/internal/dataset"
+	"repro/internal/faultinject"
 	"repro/internal/parallel"
 	"repro/internal/recipe"
 	"repro/internal/riskcache"
@@ -85,6 +86,16 @@ type Config struct {
 	// pipeline (recipe / attack cascade); tests inject counting or blocking
 	// stand-ins to observe cache and single-flight behavior.
 	AssessFn func(ctx context.Context, job *Job) (*Outcome, error)
+	// SnapshotPath, when non-empty, enables crash-safe cache persistence:
+	// LoadSnapshot reads this file on boot, SaveSnapshot and the background
+	// writer started by StartSnapshots rewrite it atomically.
+	SnapshotPath string
+	// SnapshotInterval is the background snapshot period. Zero means 1m.
+	SnapshotInterval time.Duration
+	// Injector, when non-nil, threads deterministic fault injection through
+	// the server: op "compute" wraps AssessFn, op "cache.store" gates cache
+	// stores, op "snapshot" interposes on snapshot writes.
+	Injector *faultinject.Injector
 }
 
 // Job is a fully parsed, validated assessment request — the pure-function
@@ -184,8 +195,8 @@ type AssessResponse struct {
 	// Cached: served straight from the LRU, no computation ran.
 	Cached bool `json:"cached"`
 	// Coalesced: joined an identical in-flight computation.
-	Coalesced bool   `json:"coalesced,omitempty"`
-	Key       string `json:"key"`
+	Coalesced bool    `json:"coalesced,omitempty"`
+	Key       string  `json:"key"`
 	ElapsedMS float64 `json:"elapsed_ms"`
 	*Outcome
 }
@@ -208,6 +219,29 @@ type Server struct {
 	failures  atomic.Int64 // 5xx excluding throttles
 	throttled atomic.Int64 // 503 budget exhaustion
 	degraded  atomic.Int64 // 200s carrying a degraded outcome
+
+	// Drain-aware lifecycle: BeginDrain flips draining (readyz → 503),
+	// inflightJobs counts accepted assess requests still being answered,
+	// DrainWait blocks until that count reaches zero.
+	draining      atomic.Bool
+	inflightJobs  atomic.Int64
+	completedJobs atomic.Int64 // assess requests answered with a 200
+
+	// EWMA of compute latency, feeding the Retry-After hint. Guarded by
+	// latMu; zero means no computation observed yet.
+	latMu  sync.Mutex
+	ewmaMS float64
+
+	// Background snapshot writer state (StartSnapshots/StopSnapshots) and
+	// snapshot counters for /debug/vars.
+	snapMu       sync.Mutex
+	snapStop     chan struct{}
+	snapDone     chan struct{}
+	snapWrites   atomic.Int64 // successful snapshot files written
+	snapFailures atomic.Int64 // failed snapshot attempts (previous file kept)
+	snapEntries  atomic.Int64 // entries in the last successful snapshot
+	snapLoaded   atomic.Int64 // entries loaded from snapshots on boot
+	snapSkipped  atomic.Int64 // snapshot entries rejected on load
 }
 
 // New builds a Server from cfg, applying defaults.
@@ -237,6 +271,18 @@ func New(cfg Config) *Server {
 	if s.cfg.AssessFn == nil {
 		s.cfg.AssessFn = defaultAssess
 	}
+	if inj := s.cfg.Injector; inj != nil {
+		inner := s.cfg.AssessFn
+		s.cfg.AssessFn = func(ctx context.Context, job *Job) (*Outcome, error) {
+			if err := inj.Apply(ctx, "compute"); err != nil {
+				return nil, err
+			}
+			return inner(ctx, job)
+		}
+		s.cache.SetStoreHook(func(string) error {
+			return inj.Apply(context.Background(), "cache.store")
+		})
+	}
 	return s
 }
 
@@ -245,6 +291,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/assess", s.handleAssess)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /debug/vars", s.handleVars)
 	return mux
 }
@@ -260,19 +307,35 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleVars(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
-		"uptime_s":     time.Since(s.start).Seconds(),
-		"gomaxprocs":   runtime.GOMAXPROCS(0),
-		"workers":      s.cfg.Workers,
-		"max_inflight": s.cfg.MaxInflight,
-		"inflight":     len(s.sem),
-		"requests":     s.requests.Load(),
-		"bad_input":    s.badInput.Load(),
-		"failures":     s.failures.Load(),
-		"throttled":    s.throttled.Load(),
-		"degraded":     s.degraded.Load(),
-		"cache":        s.cache.Stats(),
-	})
+	vars := map[string]any{
+		"uptime_s":        time.Since(s.start).Seconds(),
+		"gomaxprocs":      runtime.GOMAXPROCS(0),
+		"workers":         s.cfg.Workers,
+		"max_inflight":    s.cfg.MaxInflight,
+		"inflight":        len(s.sem),
+		"requests":        s.requests.Load(),
+		"bad_input":       s.badInput.Load(),
+		"failures":        s.failures.Load(),
+		"throttled":       s.throttled.Load(),
+		"degraded":        s.degraded.Load(),
+		"cache":           s.cache.Stats(),
+		"ready":           !s.draining.Load(),
+		"inflight_jobs":   s.inflightJobs.Load(),
+		"completed_jobs":  s.completedJobs.Load(),
+		"ewma_compute_ms": s.ewmaComputeMS(),
+		"retry_after_s":   s.retryAfterSeconds(),
+		"snapshot": map[string]any{
+			"writes":   s.snapWrites.Load(),
+			"failures": s.snapFailures.Load(),
+			"entries":  s.snapEntries.Load(),
+			"loaded":   s.snapLoaded.Load(),
+			"skipped":  s.snapSkipped.Load(),
+		},
+	}
+	if s.cfg.Injector != nil {
+		vars["faults"] = s.cfg.Injector.Stats()
+	}
+	writeJSON(w, http.StatusOK, vars)
 }
 
 func (s *Server) handleAssess(w http.ResponseWriter, r *http.Request) {
@@ -293,6 +356,10 @@ func (s *Server) handleAssess(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.requests.Add(1)
+	// Accepted: from here this request counts as in flight until its
+	// response is written, so DrainWait knows when shutdown may proceed.
+	s.inflightJobs.Add(1)
+	defer s.inflightJobs.Add(-1)
 
 	timeout := s.cfg.Timeout
 	if req.TimeoutMS > 0 {
@@ -318,22 +385,18 @@ func (s *Server) handleAssess(w http.ResponseWriter, r *http.Request) {
 		case <-ctx.Done():
 			return nil, false, budget.WrapContextErr(ctx.Err())
 		}
+		computeStart := time.Now()
 		o, err := s.cfg.AssessFn(ctx, job)
 		if err != nil {
 			return nil, false, err
 		}
+		s.observeLatency(time.Since(computeStart))
 		return o, !o.Degraded, nil
 	})
 	if err != nil {
 		if budget.IsBudgetError(err) {
 			s.throttled.Add(1)
-			retry := 1
-			if s.cfg.Timeout > 0 {
-				retry = int(math.Ceil(s.cfg.Timeout.Seconds()))
-				if retry < 1 {
-					retry = 1
-				}
-			}
+			retry := s.retryAfterSeconds()
 			w.Header().Set("Retry-After", strconv.Itoa(retry))
 			writeJSON(w, http.StatusServiceUnavailable, errorResponse{
 				Error:      "work budget exhausted before any tier could complete: " + err.Error(),
@@ -348,6 +411,7 @@ func (s *Server) handleAssess(w http.ResponseWriter, r *http.Request) {
 	if outcome.Degraded {
 		s.degraded.Add(1)
 	}
+	s.completedJobs.Add(1)
 	writeJSON(w, http.StatusOK, AssessResponse{
 		Cached:    src == riskcache.Hit,
 		Coalesced: src == riskcache.Coalesced,
