@@ -19,6 +19,12 @@
 #                    -race (fixed seeds, see internal/chaos) and the riskd
 #                    -selfcheck-chaos end-to-end drill, which exits non-zero
 #                    on any invariant violation
+#   ./ci.sh -registry  additionally exercise the experiment run registry end
+#                    to end: record a Quick run of all ten experiments into a
+#                    throwaway store, replay every recorded run bit-for-bit,
+#                    then diff each fresh run against the committed baseline
+#                    under internal/experiments/testdata/registry/ (exit 3
+#                    from `experiments diff` — any changed cell — fails CI)
 #
 # riskvet is the repo's own analyzer suite (see internal/analysis and
 # DESIGN.md §10): ctxbudget, detrand, errcmp, floateq, retrysleep, plus the
@@ -27,8 +33,8 @@
 # because the unitchecker protocol lives in golang.org/x/tools, which the
 # offline build cannot depend on.
 #
-# Flags combine in any order: ./ci.sh -short -bench -serve -lint -chaos.
-# Exits non-zero on the first failure.
+# Flags combine in any order: ./ci.sh -short -bench -serve -lint -chaos
+# -registry. Exits non-zero on the first failure.
 set -eu
 cd "$(dirname "$0")"
 
@@ -37,6 +43,7 @@ bench=""
 serve=""
 lint=""
 chaos=""
+registry=""
 for arg in "$@"; do
 	case "$arg" in
 	-short) short="-short" ;;
@@ -44,9 +51,10 @@ for arg in "$@"; do
 	-serve) serve="yes" ;;
 	-lint) lint="yes" ;;
 	-chaos) chaos="yes" ;;
+	-registry) registry="yes" ;;
 	*)
 		echo "ci.sh: unknown flag: $arg" >&2
-		echo "usage: ./ci.sh [-short] [-bench] [-serve] [-lint] [-chaos]" >&2
+		echo "usage: ./ci.sh [-short] [-bench] [-serve] [-lint] [-chaos] [-registry]" >&2
 		exit 2
 		;;
 	esac
@@ -164,6 +172,36 @@ if [ -n "$chaos" ]; then
 	go test -race -count=1 ./internal/chaos/
 	echo "== riskd selfcheck-chaos =="
 	go run ./cmd/riskd -selfcheck-chaos
+fi
+
+if [ -n "$registry" ]; then
+	echo "== experiment registry (record, replay, diff vs baseline) =="
+	go build -o experiments_ci ./cmd/experiments
+	regdir="$(mktemp -d)"
+	trap 'rm -rf "$regdir" experiments_ci' EXIT
+	./experiments_ci run -quick -seed 1 -workers 2 -registry "$regdir" >/dev/null
+	ids="$(./experiments_ci list -registry "$regdir" -porcelain | cut -f1)"
+	# shellcheck disable=SC2086 — ULIDs never contain whitespace
+	./experiments_ci replay -registry "$regdir" $ids
+	baseline="internal/experiments/testdata/registry/runs"
+	if [ -d "$baseline" ]; then
+		# Merge the committed baseline into the throwaway store, then diff
+		# oldest (baseline — ULIDs sort chronologically) against newest
+		# (just recorded) per experiment. diff exits 3 on any changed cell,
+		# which set -e turns into a CI failure.
+		cp -R "$baseline"/. "$regdir/runs/"
+		./experiments_ci list -registry "$regdir" -porcelain | sort |
+			awk -F'\t' '{ if (!($2 in first)) first[$2] = $1; last[$2] = $1 }
+				END { for (e in first) if (first[e] != last[e]) print first[e], last[e] }' |
+			while read -r old new; do
+				echo "-- diff $old (baseline) vs $new (fresh) --"
+				./experiments_ci diff -registry "$regdir" "$old" "$new"
+			done
+	else
+		echo "ci.sh: no committed baseline at $baseline; skipping drift diff"
+	fi
+	rm -rf "$regdir" experiments_ci
+	trap - EXIT
 fi
 
 echo "ci: OK"

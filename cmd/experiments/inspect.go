@@ -1,0 +1,232 @@
+// The registry-facing subcommands: list, show, diff, replay. `run` lives in
+// main.go beside the legacy entry point; everything here only reads the
+// store (replay re-executes, but records nothing).
+package main
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/belief"
+	"repro/internal/budget"
+	"repro/internal/cliutil"
+	"repro/internal/experiments"
+	"repro/internal/registry"
+)
+
+func registryFlag() *string {
+	return flag.String("registry", defaultRegistry, "registry directory")
+}
+
+func openStore(dir string) *registry.Store {
+	s, err := registry.Open(dir)
+	if err != nil {
+		fatal(err)
+	}
+	return s
+}
+
+func listMain(args []string) {
+	dir := registryFlag()
+	porcelain := flag.Bool("porcelain", false,
+		"machine-readable output: one run per line, tab-separated id/experiment/seed/quick/workers/gitrev")
+	parseFlags(args)
+	entries, err := openStore(*dir).List()
+	if err != nil {
+		fatal(err)
+	}
+	bad := 0
+	if !*porcelain {
+		fmt.Printf("%-26s  %-9s  %5s  %-5s  %7s  %-12s  %6s  %8s  %s\n",
+			"RUN", "EXP", "SEED", "QUICK", "WORKERS", "GITREV", "TABLES", "WALL", "CREATED")
+	}
+	for _, e := range entries {
+		if e.Err != nil {
+			// A corrupt record is skipped with a diagnostic, never half-shown.
+			fmt.Fprintf(os.Stderr, "experiments: skipping %s: %v\n", e.ID, e.Err)
+			bad++
+			continue
+		}
+		m := e.Run.Manifest
+		if *porcelain {
+			fmt.Printf("%s\t%s\t%d\t%t\t%d\t%s\n", m.RunID, m.Experiment, m.Seed, m.Quick, m.Workers, m.GitRev)
+			continue
+		}
+		created := time.UnixMilli(e.Run.Timing.CreatedUnixMS).UTC().Format("2006-01-02 15:04:05")
+		fmt.Printf("%-26s  %-9s  %5d  %-5t  %7d  %-12s  %6d  %7dms  %s\n",
+			m.RunID, m.Experiment, m.Seed, m.Quick, m.Workers, m.GitRev,
+			len(m.Tables), e.Run.Timing.WallMS, created)
+	}
+	if bad > 0 {
+		os.Exit(1)
+	}
+}
+
+func showMain(args []string) {
+	dir := registryFlag()
+	parseFlags(args)
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: experiments show [-registry dir] <run-id>")
+		os.Exit(2)
+	}
+	store := openStore(*dir)
+	run, err := store.Load(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	m := run.Manifest
+	fmt.Printf("run         %s\n", m.RunID)
+	fmt.Printf("experiment  %s: %s\n", m.Experiment, m.Title)
+	fmt.Printf("identity    seed=%d quick=%t workers=%d gitrev=%s\n", m.Seed, m.Quick, m.Workers, m.GitRev)
+	fmt.Printf("content key %s\n", m.ContentKey)
+	fmt.Printf("created     %s  wall=%dms cpu=%dms\n",
+		time.UnixMilli(run.Timing.CreatedUnixMS).UTC().Format(time.RFC3339), run.Timing.WallMS, run.Timing.CPUMS)
+	for _, in := range m.Inputs {
+		fmt.Printf("input       %-8s %-24s %s\n", in.Kind, in.Name, in.Digest)
+	}
+	for k, tf := range m.Tables {
+		raw, err := store.ReadTable(run, k)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\n-- %s", tf.File)
+		if tf.Title != "" {
+			fmt.Printf(": %s", tf.Title)
+		}
+		fmt.Printf(" (%d bytes, crc %08x) --\n", tf.Bytes, tf.CRC32)
+		printAligned(raw)
+	}
+	if len(m.Provenance) > 0 {
+		var pretty any
+		if err := json.Unmarshal(m.Provenance, &pretty); err == nil {
+			data, _ := json.MarshalIndent(pretty, "", "  ")
+			fmt.Printf("\n-- provenance --\n%s\n", data)
+		}
+	}
+	for _, n := range m.Notes {
+		fmt.Printf("\nnote: %s\n", n)
+	}
+}
+
+// printAligned re-renders a stored CSV as padded columns for terminals.
+func printAligned(raw []byte) {
+	r := csv.NewReader(strings.NewReader(string(raw)))
+	r.FieldsPerRecord = -1
+	records, err := r.ReadAll()
+	if err != nil || len(records) == 0 {
+		os.Stdout.Write(raw)
+		return
+	}
+	var widths []int
+	for _, rec := range records {
+		for i, cell := range rec {
+			if i >= len(widths) {
+				widths = append(widths, 0)
+			}
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for _, rec := range records {
+		for i, cell := range rec {
+			if i > 0 {
+				fmt.Print("  ")
+			}
+			fmt.Printf("%-*s", widths[i], cell)
+		}
+		fmt.Println()
+	}
+}
+
+func diffMain(args []string) {
+	dir := registryFlag()
+	eps := flag.Float64("eps", belief.Epsilon,
+		"float tolerance: cells that parse as numbers count as equal when |a-b| <= eps")
+	parseFlags(args)
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: experiments diff [-registry dir] [-eps v] <run-a> <run-b>")
+		os.Exit(2)
+	}
+	store := openStore(*dir)
+	a, err := store.Load(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	b, err := store.Load(flag.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+	d, err := store.Diff(a, b, *eps)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("diff %s (%s) -> %s (%s)\n", d.AID, a.Manifest.GitRev, d.BID, b.Manifest.GitRev)
+	for _, s := range d.Structural {
+		fmt.Printf("structural: %s\n", s)
+	}
+	for _, td := range d.Tables {
+		for _, c := range td.Cells {
+			loc := fmt.Sprintf("row %d", c.Row)
+			if c.Row < 0 {
+				loc = "header"
+			} else if c.RowLabel != "" {
+				loc = fmt.Sprintf("row %d (%s)", c.Row, c.RowLabel)
+			}
+			if c.IsFloat {
+				fmt.Printf("%s %s col %d (%s): %s -> %s (delta %+g)\n",
+					c.Table, loc, c.Col, c.Column, c.A, c.B, c.Delta)
+			} else {
+				fmt.Printf("%s %s col %d (%s): %q -> %q\n",
+					c.Table, loc, c.Col, c.Column, c.A, c.B)
+			}
+		}
+	}
+	for _, p := range d.Provenance {
+		fmt.Printf("provenance: %s\n", p)
+	}
+	fmt.Printf("%d cells changed; wall %+dms cpu %+dms\n",
+		d.CellCount(), d.BWallMS-d.AWallMS, d.BCPUMS-d.ACPUMS)
+	if d.Changed() {
+		os.Exit(exitDiverged)
+	}
+}
+
+func replayMain(args []string) {
+	dir := registryFlag()
+	budgetCtx := cliutil.BudgetFlags()
+	parseFlags(args)
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: experiments replay [-registry dir] <run-id> [<run-id>...]")
+		os.Exit(2)
+	}
+	store := openStore(*dir)
+	ctx, cancel := budgetCtx()
+	defer cancel()
+	diverged := false
+	for _, id := range flag.Args() {
+		run, divs, err := experiments.ReplayRun(ctx, store, id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: replay %s: %v\n", id, err)
+			os.Exit(budget.ExitCode(err))
+		}
+		if len(divs) == 0 {
+			fmt.Printf("replay %s %s: ok (%d tables byte-identical)\n",
+				id, run.Manifest.Experiment, len(run.Manifest.Tables))
+			continue
+		}
+		diverged = true
+		for _, dv := range divs {
+			fmt.Printf("replay %s %s: %s DIVERGED\n--- recorded ---\n%s--- replayed ---\n%s",
+				id, run.Manifest.Experiment, dv.File, dv.Want, dv.Got)
+		}
+	}
+	if diverged {
+		os.Exit(exitDiverged)
+	}
+}

@@ -1,17 +1,32 @@
-// Command experiments regenerates the paper's tables and figures.
+// Command experiments regenerates the paper's tables and figures, and keeps
+// a persistent, content-addressed registry of every recorded run so results
+// become a trajectory instead of ephemeral terminal output.
 //
 // Usage:
 //
-//	experiments [-run id[,id...]] [-seed n] [-quick] [-timeout 5m] [-workers n] [-csv dir]
-//	            [-cpuprofile cpu.out] [-memprofile mem.out]
+//	experiments run    [-run id[,id...]] [-seed n] [-quick] [-workers n]
+//	                   [-timeout 5m] [-max-work n] [-csv dir] [-timing]
+//	                   [-registry dir] [-cpuprofile cpu.out] [-memprofile mem.out]
+//	experiments list   [-registry dir] [-porcelain]
+//	experiments show   [-registry dir] <run-id>
+//	experiments diff   [-registry dir] [-eps v] <run-a> <run-b>
+//	experiments replay [-registry dir] <run-id> [<run-id>...]
 //
-// With no -run flag every experiment executes in paper order. IDs: delta,
-// figure9, figure10, figure11, figure12, recipe, ablation, itemsets, kanon,
-// sanitize. With -csv, every result table is additionally written as
-// <dir>/<experiment>-<k>.csv for external plotting.
+// `run` executes experiments in paper order (all ten, or the -run subset)
+// and records each as one registry run: manifest.json with a CRC-checked
+// identity (experiment, seed, quick, workers, git rev, input digests),
+// per-table CSVs, and timing.json. `replay` re-executes a recorded run from
+// its manifest and verifies the tables byte-for-byte; `diff` compares two
+// runs cell by cell with ε-aware float comparison plus wall/CPU deltas and
+// provenance changes. The registry directory defaults to .riskruns (flag
+// -registry); `run -registry ""` disables recording.
 //
-// Exit status: 0 ok, 2 for an unknown experiment id, 4 when the -timeout
-// budget runs out, 1 for other errors.
+// Invoking the command with flags but no subcommand keeps the historical
+// behavior: run everything, print tables, record nothing.
+//
+// Exit status: 0 ok, 1 error, 2 usage (unknown experiment, subcommand, or
+// missing argument), 3 when replay diverges or diff finds changes, 4 when
+// the -timeout/-max-work budget runs out.
 package main
 
 import (
@@ -26,18 +41,66 @@ import (
 	"repro/internal/cliutil"
 	"repro/internal/experiments"
 	"repro/internal/parallel"
+	"repro/internal/registry"
 )
 
+// defaultRegistry is where subcommand invocations keep their runs unless
+// told otherwise.
+const defaultRegistry = ".riskruns"
+
+// exitDiverged is the exit status for "the comparison ran fine and found
+// real differences" — distinct from 1 (error) and 4 (budget).
+const exitDiverged = 3
+
 func main() {
+	args := os.Args[1:]
+	sub := ""
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		sub, args = args[0], args[1:]
+	}
+	switch sub {
+	case "":
+		// Legacy flag-only invocation: run everything, record nothing.
+		runMain(args, false)
+	case "run":
+		runMain(args, true)
+	case "list":
+		listMain(args)
+	case "show":
+		showMain(args)
+	case "diff":
+		diffMain(args)
+	case "replay":
+		replayMain(args)
+	case "help", "-h", "--help":
+		flag.CommandLine.Usage()
+	default:
+		fmt.Fprintf(os.Stderr, "experiments: unknown subcommand %q (want run, list, show, diff, or replay)\n", sub)
+		os.Exit(2)
+	}
+}
+
+// parseFlags finishes a subcommand's flag registration and parses args with
+// the shared default flag set (exactly one subcommand runs per process).
+func parseFlags(args []string) {
+	if err := flag.CommandLine.Parse(args); err != nil {
+		os.Exit(2)
+	}
+}
+
+func runMain(args []string, record bool) {
 	run := flag.String("run", "", "experiment id to run (default: all)")
 	seed := flag.Int64("seed", 1, "random seed")
 	quick := flag.Bool("quick", false, "reduced simulation scale")
 	csvDir := flag.String("csv", "", "also write each table as CSV into this directory")
 	timing := flag.Bool("timing", false, "print wall/CPU time per experiment to stderr")
+	registryDir := flag.String("registry", registryDefault(record),
+		"record each experiment as a registry run under this directory (empty = don't record)")
 	budgetCtx := cliutil.BudgetFlags()
 	withWorkers := cliutil.WorkersFlag()
 	profile := cliutil.ProfileFlags()
-	flag.Parse()
+	parseFlags(args)
+
 	ctx, cancel := budgetCtx()
 	defer cancel()
 	ctx = withWorkers(ctx)
@@ -51,6 +114,14 @@ func main() {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 			fatal(err)
 		}
+	}
+	var store *registry.Store
+	gitRev := ""
+	if *registryDir != "" {
+		if store, err = registry.Open(*registryDir); err != nil {
+			fatal(err)
+		}
+		gitRev = registry.GitRev(".")
 	}
 
 	cfg := experiments.Config{Seed: *seed, Quick: *quick}
@@ -77,21 +148,39 @@ func main() {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
 			os.Exit(budget.ExitCode(err))
 		}
+		wall, cpu := time.Since(startWall), parallel.CPUTime()-startCPU
 		if *timing {
 			fmt.Fprintf(os.Stderr, "%s: workers=%d wall=%v cpu=%v\n",
-				e.ID, parallel.Workers(ctx), time.Since(startWall).Round(time.Millisecond),
-				(parallel.CPUTime() - startCPU).Round(time.Millisecond))
+				e.ID, parallel.Workers(ctx), wall.Round(time.Millisecond), cpu.Round(time.Millisecond))
 		}
 		fmt.Println(rep)
 		if *csvDir != "" {
 			for k, tb := range rep.Tables {
 				path := filepath.Join(*csvDir, fmt.Sprintf("%s-%d.csv", rep.ID, k))
-				if err := os.WriteFile(path, []byte(tb.CSV()), 0o644); err != nil {
+				// Atomic, same as the registry: a run killed mid-write must
+				// not leave a partial CSV at its final name.
+				if err := registry.AtomicWriteFile(path, []byte(tb.CSV()), 0o644); err != nil {
 					fatal(err)
 				}
 			}
 		}
+		if store != nil {
+			rec, err := experiments.RecordRun(store, rep, cfg, parallel.Workers(ctx), gitRev, wall, cpu)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("recorded %s %s\n", rec.ID(), rep.ID)
+		}
 	}
+}
+
+// registryDefault: subcommand `run` records by default; the legacy spelling
+// stays side-effect free.
+func registryDefault(record bool) string {
+	if record {
+		return defaultRegistry
+	}
+	return ""
 }
 
 func fatal(err error) {

@@ -13,35 +13,19 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/belief"
 	"repro/internal/parallel"
+	"repro/internal/registry"
 )
 
-// normalize renders a report with timing columns removed, so byte comparison
-// tests only the numbers the seed determines.
+// normalize renders a report's canonical projection (volatile columns
+// stripped via the same Report.Canonical the registry records and replays),
+// so byte comparison tests only the numbers the seed determines.
 func normalize(rep *Report) string {
 	var b strings.Builder
 	b.WriteString(rep.ID)
-	for _, tb := range rep.Tables {
-		drop := -1
-		for i, h := range tb.Header {
-			if h == "wall time" {
-				drop = i
-			}
-		}
-		if drop < 0 {
-			b.WriteString(tb.String())
-			continue
-		}
-		cut := Table{Title: tb.Title}
-		strip := func(row []string) []string {
-			out := append([]string(nil), row[:drop]...)
-			return append(out, row[drop+1:]...)
-		}
-		cut.Header = strip(tb.Header)
-		for _, row := range tb.Rows {
-			cut.Rows = append(cut.Rows, strip(row))
-		}
-		b.WriteString(cut.String())
+	for _, tb := range rep.Canonical().Tables {
+		b.WriteString(tb.String())
 	}
 	for _, n := range rep.Notes {
 		b.WriteString(n)
@@ -97,5 +81,117 @@ func TestSameSeedFullRunsMatch(t *testing.T) {
 	}
 	if a, b := full(), full(); a != b {
 		t.Error("two same-seed full runs differ; some generator is not seed-injected")
+	}
+}
+
+// recordForTest runs one experiment and records it through the same
+// RecordRun path cmd/experiments uses.
+func recordForTest(t *testing.T, store *registry.Store, id string, seed int64, workers int) *registry.Run {
+	t.Helper()
+	exp, ok := ByID(id)
+	if !ok {
+		t.Fatalf("experiment %s not registered", id)
+	}
+	ctx := parallel.WithWorkers(context.Background(), workers)
+	cfg := Config{Seed: seed, Quick: true}
+	rep, err := exp.Run(ctx, cfg)
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	run, err := RecordRun(store, rep, cfg, workers, "testrev", 0, 0)
+	if err != nil {
+		t.Fatalf("recording %s: %v", id, err)
+	}
+	return run
+}
+
+// TestRegistryTrajectoryPinning extends the worker-count determinism
+// contract through the registry path: two same-seed recorded runs must diff
+// to zero cells at any worker count (including the ablation experiment,
+// whose wall-time column is volatile and stripped on record), and a
+// deliberately perturbed copy must report exactly the perturbed cells.
+func TestRegistryTrajectoryPinning(t *testing.T) {
+	store, err := registry.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"recipe", "ablation"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			a := recordForTest(t, store, id, 7, 1)
+			for _, workers := range []int{4, runtime.GOMAXPROCS(0)} {
+				b := recordForTest(t, store, id, 7, workers)
+				d, err := store.Diff(a, b, belief.Epsilon)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if d.CellCount() != 0 || len(d.Structural) != 0 || len(d.Provenance) != 0 {
+					t.Errorf("workers=1 vs %d: %d cells, structural %v, provenance %v",
+						workers, d.CellCount(), d.Structural, d.Provenance)
+				}
+			}
+		})
+	}
+}
+
+// TestRegistryDiffReportsExactlyThePerturbedCells records a run, re-records
+// a copy with two known cells perturbed, and asserts the diff names exactly
+// those coordinates — the registry's cell-level accountability claim.
+func TestRegistryDiffReportsExactlyThePerturbedCells(t *testing.T) {
+	store, err := registry.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := recordForTest(t, store, "recipe", 7, 1)
+
+	raw, err := store.ReadTable(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(string(raw), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("recipe table too small to perturb: %q", raw)
+	}
+	// Perturb data row 1: flip its second column and append noise to its
+	// last column.
+	cells := strings.Split(lines[2], ",")
+	if len(cells) < 3 {
+		t.Fatalf("unexpected row shape: %q", lines[2])
+	}
+	cells[1] = "99"
+	cells[len(cells)-1] = cells[len(cells)-1] + "-perturbed"
+	lines[2] = strings.Join(cells, ",")
+
+	spec := registry.RunSpec{
+		Experiment: a.Manifest.Experiment,
+		Title:      a.Manifest.Title,
+		Seed:       a.Manifest.Seed,
+		Quick:      a.Manifest.Quick,
+		Workers:    a.Manifest.Workers,
+		GitRev:     a.Manifest.GitRev,
+		Tables: []registry.SpecTable{{
+			Name: strings.TrimSuffix(a.Manifest.Tables[0].File, ".csv"),
+			CSV:  []byte(strings.Join(lines, "\n")),
+		}},
+	}
+	b, err := store.Record(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := store.Diff(a, b, belief.Epsilon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.CellCount() != 2 {
+		t.Fatalf("want exactly the 2 perturbed cells, got %d: %+v", d.CellCount(), d.Tables)
+	}
+	got := map[[2]int]bool{}
+	for _, td := range d.Tables {
+		for _, c := range td.Cells {
+			got[[2]int{c.Row, c.Col}] = true
+		}
+	}
+	if !got[[2]int{1, 1}] || !got[[2]int{1, len(cells) - 1}] {
+		t.Errorf("perturbed coordinates not reported: %v", got)
 	}
 }

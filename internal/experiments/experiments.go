@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"repro/internal/parallel"
+	"repro/internal/recipe"
 )
 
 // Config controls experiment scale.
@@ -42,6 +43,72 @@ type Report struct {
 	Title  string
 	Tables []Table
 	Notes  []string
+
+	// Inputs content-addresses what the run consumed (generated benchmark
+	// datasets, belief functions) and Prov carries the per-row Assess-Risk
+	// evidence trail. Both flow into the registry manifest when the run is
+	// recorded; neither affects rendering.
+	Inputs []InputRef
+	Prov   []RowProvenance
+}
+
+// InputRef content-addresses one input an experiment consumed.
+type InputRef struct {
+	Kind   string `json:"kind"`
+	Name   string `json:"name"`
+	Digest string `json:"digest"`
+}
+
+// RowProvenance ties one recipe.Result's provenance to the table row it
+// produced. The embedded fields keep recipe's frozen JSON names.
+type RowProvenance struct {
+	Table int    `json:"table"`
+	Row   string `json:"row"`
+	recipe.Provenance
+}
+
+// VolatileHeaders names table columns whose cells depend on the wall clock
+// rather than the seed. They are stripped before a table is recorded in or
+// replayed against the registry, and the determinism tests strip them the
+// same way — one definition, so `-update` and `replay` cannot disagree
+// about what counts as signal.
+var VolatileHeaders = map[string]bool{"wall time": true}
+
+// StripVolatile returns the table without its volatile columns (a copy when
+// something was stripped, the receiver unchanged otherwise).
+func (t Table) StripVolatile() Table {
+	drop := -1
+	for i, h := range t.Header {
+		if VolatileHeaders[h] {
+			drop = i
+		}
+	}
+	if drop < 0 {
+		return t
+	}
+	strip := func(row []string) []string {
+		if drop >= len(row) {
+			return append([]string(nil), row...)
+		}
+		out := append([]string(nil), row[:drop]...)
+		return append(out, row[drop+1:]...)
+	}
+	cut := Table{Title: t.Title, Header: strip(t.Header)}
+	for _, row := range t.Rows {
+		cut.Rows = append(cut.Rows, strip(row))
+	}
+	return cut
+}
+
+// Canonical returns the report with every table's volatile columns
+// stripped: the seed-determined projection that must be byte-identical
+// across worker counts, repeat runs, and registry replays.
+func (r *Report) Canonical() *Report {
+	out := &Report{ID: r.ID, Title: r.Title, Notes: r.Notes, Inputs: r.Inputs, Prov: r.Prov}
+	for _, tb := range r.Tables {
+		out.Tables = append(out.Tables, tb.StripVolatile())
+	}
+	return out
 }
 
 // Table is a rendered result table.

@@ -33,16 +33,20 @@ func RunFigure10(ctx context.Context, cfg Config) (*Report, error) {
 	tb := Table{
 		Header: []string{"dataset", "n", "δ_med", "O-estimate", "simulated", "stddev", "OE fraction", "sim fraction", "within 1σ"},
 	}
-	rows, err := parallel.Map(ctx, 0, len(figure10Datasets), func(i int) ([]string, error) {
+	type f10Row struct {
+		cells  []string
+		inputs []InputRef
+	}
+	rows, err := parallel.Map(ctx, 0, len(figure10Datasets), func(i int) (f10Row, error) {
 		name := figure10Datasets[i]
 		rng := rowRNG(cfg.Seed, 0, i)
 		plan, ok := datagen.ByName(name)
 		if !ok {
-			return nil, fmt.Errorf("experiments: unknown benchmark %s", name)
+			return f10Row{}, fmt.Errorf("experiments: unknown benchmark %s", name)
 		}
 		ft, err := plan.Counts(rng)
 		if err != nil {
-			return nil, err
+			return f10Row{}, err
 		}
 		gr := dataset.GroupItems(ft)
 		delta := gr.MedianGap()
@@ -50,31 +54,40 @@ func RunFigure10(ctx context.Context, cfg Config) (*Report, error) {
 
 		oe, err := core.OEstimateCtx(ctx, bf, ft, core.OEOptions{Propagate: true})
 		if err != nil {
-			return nil, err
+			return f10Row{}, err
 		}
 		g, err := bipartite.Build(bf, dataset.GroupItems(ft))
 		if err != nil {
-			return nil, err
+			return f10Row{}, err
 		}
 		est, err := matching.EstimateCracksCtx(ctx, g, simConfig(cfg.Quick), rng)
 		if err != nil {
-			return nil, err
+			return f10Row{}, err
 		}
 		within := "yes"
 		if math.Abs(oe.Value-est.Mean) > math.Max(est.StdDev, 0.05*est.Mean+0.5) {
 			within = "NO"
 		}
 		n := float64(ft.NItems)
-		return []string{
-			name, fmt.Sprint(ft.NItems), f6(delta),
-			f3(oe.Value), f3(est.Mean), f3(est.StdDev),
-			f4(oe.Value / n), f4(est.Mean / n), within,
+		return f10Row{
+			cells: []string{
+				name, fmt.Sprint(ft.NItems), f6(delta),
+				f3(oe.Value), f3(est.Mean), f3(est.StdDev),
+				f4(oe.Value / n), f4(est.Mean / n), within,
+			},
+			inputs: []InputRef{
+				{Kind: "dataset", Name: name, Digest: ft.Digest()},
+				{Kind: "belief", Name: name + "/uniform-δ_med", Digest: bf.Digest()},
+			},
 		}, nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	tb.Rows = rows
+	for _, r := range rows {
+		tb.Rows = append(tb.Rows, r.cells)
+		rep.Inputs = append(rep.Inputs, r.inputs...)
+	}
 	rep.Tables = append(rep.Tables, tb)
 	rep.Notes = append(rep.Notes,
 		"'within 1σ' allows a 5% slack band when the across-run stddev is very small, as the paper's own accuracy criterion is one standard deviation")

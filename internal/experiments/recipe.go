@@ -18,13 +18,18 @@ func RunRecipe(ctx context.Context, cfg Config) (*Report, error) {
 	tb := Table{
 		Header: []string{"dataset", "stage", "g", "g/n", "δ_med", "OE full", "OE/n", "α_max", "verdict"},
 	}
-	rows, err := parallel.Map(ctx, 0, len(figure10Datasets), func(i int) ([]string, error) {
+	type recipeRow struct {
+		cells []string
+		input InputRef
+		prov  RowProvenance
+	}
+	rows, err := parallel.Map(ctx, 0, len(figure10Datasets), func(i int) (recipeRow, error) {
 		name := figure10Datasets[i]
 		rng := rowRNG(cfg.Seed, 0, i)
 		plan, _ := datagen.ByName(name)
 		ft, err := plan.Counts(rng)
 		if err != nil {
-			return nil, err
+			return recipeRow{}, err
 		}
 		res, err := recipe.AssessRiskCtx(ctx, ft, recipe.Options{
 			Tolerance: 0.1,
@@ -32,23 +37,31 @@ func RunRecipe(ctx context.Context, cfg Config) (*Report, error) {
 			Rng:       rng,
 		})
 		if err != nil {
-			return nil, err
+			return recipeRow{}, err
 		}
 		verdict := "withhold"
 		if res.Disclose {
 			verdict = "disclose"
 		}
-		return []string{
-			name, fmt.Sprint(int(res.Stage)),
-			fmt.Sprint(res.Groups), f4(res.FractionPointValued()),
-			f6(res.DeltaMed), f3(res.OEFull), f4(res.FractionOEFull()),
-			f3(res.AlphaMax), verdict,
+		return recipeRow{
+			cells: []string{
+				name, fmt.Sprint(int(res.Stage)),
+				fmt.Sprint(res.Groups), f4(res.FractionPointValued()),
+				f6(res.DeltaMed), f3(res.OEFull), f4(res.FractionOEFull()),
+				f3(res.AlphaMax), verdict,
+			},
+			input: InputRef{Kind: "dataset", Name: name, Digest: ft.Digest()},
+			prov:  RowProvenance{Table: 0, Row: name, Provenance: res.Provenance()},
 		}, nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	tb.Rows = rows
+	for _, r := range rows {
+		tb.Rows = append(tb.Rows, r.cells)
+		rep.Inputs = append(rep.Inputs, r.input)
+		rep.Prov = append(rep.Prov, r.prov)
+	}
 	rep.Tables = append(rep.Tables, tb)
 	rep.Notes = append(rep.Notes,
 		"stage 1 = point-valued worst case within tolerance, 2 = δ_med interval O-estimate within tolerance, 3 = α binary search",

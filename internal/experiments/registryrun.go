@@ -1,0 +1,109 @@
+// Registry glue: the one code path that turns a Report into a registry run
+// and a registry run back into a re-executed, byte-compared Report. Both
+// cmd/experiments and the trajectory tests go through these functions, so
+// what `run` records, what `replay` verifies, and what the golden-file
+// tests pin can never silently disagree about rendering or volatile-column
+// stripping.
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/parallel"
+	"repro/internal/registry"
+)
+
+// RecordRun stores the canonical (volatile columns stripped) projection of
+// rep in the registry, keyed by the run's identity tuple and input digests.
+// wall and cpu are the measured run cost; they land in timing.json, outside
+// the integrity envelope.
+func RecordRun(s *registry.Store, rep *Report, cfg Config, workers int, gitRev string, wall, cpu time.Duration) (*registry.Run, error) {
+	canon := rep.Canonical()
+	spec := registry.RunSpec{
+		Experiment: rep.ID,
+		Title:      rep.Title,
+		Seed:       cfg.Seed,
+		Quick:      cfg.Quick,
+		Workers:    workers,
+		GitRev:     gitRev,
+		Notes:      canon.Notes,
+		Wall:       wall,
+		CPU:        cpu,
+	}
+	for _, in := range rep.Inputs {
+		spec.Inputs = append(spec.Inputs, registry.Input{Kind: in.Kind, Name: in.Name, Digest: in.Digest})
+	}
+	for k, tb := range canon.Tables {
+		spec.Tables = append(spec.Tables, registry.SpecTable{
+			Name:  fmt.Sprintf("%s-%d", rep.ID, k),
+			Title: tb.Title,
+			CSV:   []byte(tb.CSV()),
+		})
+	}
+	if len(rep.Prov) > 0 {
+		raw, err := json.Marshal(rep.Prov)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: serializing provenance: %w", err)
+		}
+		spec.Provenance = raw
+	}
+	return s.Record(spec)
+}
+
+// Divergence reports one table whose replayed bytes differ from the stored
+// record, or a structural mismatch (File "(tables)" with a note in Got).
+type Divergence struct {
+	File string
+	Want []byte // the stored bytes
+	Got  []byte // the replayed bytes
+}
+
+// ReplayRun re-executes the experiment a run recorded — same experiment id,
+// seed, quick mode, and worker count, read back from the manifest — and
+// byte-compares every replayed canonical table against the stored CSV. An
+// empty divergence list is the bit-for-bit replay guarantee; the registry's
+// CRCs have already established that the stored bytes are the recorded ones.
+func ReplayRun(ctx context.Context, s *registry.Store, id string) (*registry.Run, []Divergence, error) {
+	run, err := s.Load(id)
+	if err != nil {
+		return nil, nil, err
+	}
+	exp, ok := ByID(run.Manifest.Experiment)
+	if !ok {
+		return run, nil, fmt.Errorf("experiments: run %s records unknown experiment %q", id, run.Manifest.Experiment)
+	}
+	ctx = parallel.WithWorkers(ctx, run.Manifest.Workers)
+	rep, err := exp.Run(ctx, Config{Seed: run.Manifest.Seed, Quick: run.Manifest.Quick})
+	if err != nil {
+		return run, nil, err
+	}
+	canon := rep.Canonical()
+
+	var divs []Divergence
+	if len(canon.Tables) != len(run.Manifest.Tables) {
+		divs = append(divs, Divergence{
+			File: "(tables)",
+			Want: []byte(fmt.Sprintf("%d tables", len(run.Manifest.Tables))),
+			Got:  []byte(fmt.Sprintf("%d tables", len(canon.Tables))),
+		})
+	}
+	n := len(canon.Tables)
+	if len(run.Manifest.Tables) < n {
+		n = len(run.Manifest.Tables)
+	}
+	for k := 0; k < n; k++ {
+		want, err := s.ReadTable(run, k)
+		if err != nil {
+			return run, divs, err
+		}
+		got := []byte(canon.Tables[k].CSV())
+		if !bytes.Equal(want, got) {
+			divs = append(divs, Divergence{File: run.Manifest.Tables[k].File, Want: want, Got: got})
+		}
+	}
+	return run, divs, nil
+}

@@ -1,0 +1,178 @@
+package experiments
+
+// The registry round-trip contract at suite scale: every experiment records
+// into the store, lists, loads, and replays bit-for-bit in Quick mode; the
+// committed golden CSVs are reproducible as registry tables; and a corrupted
+// manifest is surfaced as an error, never half-loaded.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/parallel"
+	"repro/internal/registry"
+)
+
+// TestRegistryRoundTripAllExperiments is the acceptance loop for the whole
+// suite: run → record → list → load → replay for all ten experiment ids,
+// with zero divergences anywhere.
+func TestRegistryRoundTripAllExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment twice")
+	}
+	store, err := registry.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := parallel.WithWorkers(context.Background(), 2)
+	cfg := Config{Seed: 1, Quick: true}
+
+	ids := map[string]string{} // experiment id -> run id
+	for _, exp := range All() {
+		rep, err := exp.Run(ctx, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", exp.ID, err)
+		}
+		run, err := RecordRun(store, rep, cfg, 2, "testrev", 0, 0)
+		if err != nil {
+			t.Fatalf("recording %s: %v", exp.ID, err)
+		}
+		ids[exp.ID] = run.ID()
+	}
+
+	entries, err := store.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != len(All()) {
+		t.Fatalf("list: %d entries, want %d", len(entries), len(All()))
+	}
+	for _, e := range entries {
+		if e.Err != nil {
+			t.Fatalf("list: %s: %v", e.ID, e.Err)
+		}
+		if want := ids[e.Run.Manifest.Experiment]; want != e.ID {
+			t.Errorf("list: %s recorded as %s, listed as %s", e.Run.Manifest.Experiment, want, e.ID)
+		}
+	}
+
+	for expID, runID := range ids {
+		run, divs, err := ReplayRun(ctx, store, runID)
+		if err != nil {
+			t.Fatalf("replay %s (%s): %v", expID, runID, err)
+		}
+		if len(divs) != 0 {
+			for _, dv := range divs {
+				t.Errorf("replay %s: %s diverged:\n--- recorded ---\n%s--- replayed ---\n%s",
+					expID, dv.File, dv.Want, dv.Got)
+			}
+		}
+		if run.Manifest.Experiment != expID {
+			t.Errorf("replay %s loaded manifest for %s", expID, run.Manifest.Experiment)
+		}
+	}
+}
+
+// TestRegistryGoldenMigration shows the committed testdata goldens are
+// exactly what the registry records for the same configs: the golden files
+// are replays avant la lettre.
+func TestRegistryGoldenMigration(t *testing.T) {
+	store, err := registry.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	cases := []struct {
+		cfg     Config
+		run     func(context.Context, Config) (*Report, error)
+		goldens map[int]string // table index -> testdata file
+	}{
+		{Config{Seed: 1}, RunDeltaTable, map[int]string{0: "delta-0.csv", 1: "delta-1.csv"}},
+		{Config{Seed: 1, Quick: true}, RunFigure9, map[int]string{0: "figure9-0.csv"}},
+	}
+	for _, c := range cases {
+		rep, err := c.run(ctx, c.cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run, err := RecordRun(store, rep, c.cfg, 1, "testrev", 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k, name := range c.goldens {
+			want, err := os.ReadFile(filepath.Join("testdata", name))
+			if err != nil {
+				t.Fatalf("missing golden (run TestGolden with -update first): %v", err)
+			}
+			got, err := store.ReadTable(run, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("%s: registry table %d differs from golden:\n--- registry ---\n%s\n--- golden ---\n%s",
+					name, k, got, want)
+			}
+		}
+	}
+}
+
+// TestRegistryCorruptRunIsNeverHalfLoaded flips one byte in a recorded
+// manifest and checks every read path refuses it loudly: Load returns
+// ErrCorrupt, List carries the error, and the intact sibling run stays
+// readable.
+func TestRegistryCorruptRunIsNeverHalfLoaded(t *testing.T) {
+	dir := t.TempDir()
+	store, err := registry.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := recordForTest(t, store, "delta", 1, 1)
+	bad := recordForTest(t, store, "recipe", 1, 1)
+
+	path := filepath.Join(dir, "runs", bad.ID(), "manifest.json")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := bytes.Index(data, []byte(`"seed"`))
+	if i < 0 {
+		t.Fatalf("no seed field in manifest: %s", data)
+	}
+	data[i+1] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := store.Load(bad.ID()); !errors.Is(err, registry.ErrCorrupt) {
+		t.Errorf("Load of corrupted run: %v, want ErrCorrupt", err)
+	}
+	entries, err := store.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawGood, sawBad bool
+	for _, e := range entries {
+		switch e.ID {
+		case good.ID():
+			sawGood = true
+			if e.Err != nil {
+				t.Errorf("intact run reported corrupt: %v", e.Err)
+			}
+		case bad.ID():
+			sawBad = true
+			if e.Err == nil {
+				t.Error("corrupted run listed without error")
+			}
+			if e.Run != nil {
+				t.Error("corrupted run half-loaded into List")
+			}
+		}
+	}
+	if !sawGood || !sawBad {
+		t.Fatalf("List missed runs: good=%t bad=%t", sawGood, sawBad)
+	}
+}

@@ -1,0 +1,65 @@
+// Provenance serialization: the JSON-stable projection of a Result that the
+// experiment registry threads into run manifests. Degradation facts (which
+// method decided, whether a budget forced a conservative answer) become
+// first-class diffable records there — a PR that silently flips a benchmark
+// from the closed-form O-estimate to the degraded α-search shows up in
+// `experiments diff` even when the rendered cells happen to agree.
+package recipe
+
+// Method names the decision tier a Result came from, mirroring the
+// anonrisk.Method convention for attack reports.
+const (
+	// MethodWorstCase: the Lemma 3 point-valued worst case settled it.
+	MethodWorstCase = "worst-case"
+	// MethodOEstimate: the δ_med compliant-interval O-estimate settled it.
+	MethodOEstimate = "oestimate"
+	// MethodAlphaSearch: the sampled binary search on α produced α_max.
+	MethodAlphaSearch = "alpha-search"
+)
+
+// Provenance is the serializable evidence trail of one Assess-Risk call.
+// Field names are frozen: they are stored in registry manifests and compared
+// across git revisions, so renaming one would make every historical run look
+// changed. wall_ms, cpu_ms, and workers are treated as volatile by the
+// registry's diff — they vary between byte-identical runs.
+type Provenance struct {
+	Stage          int     `json:"stage"`
+	Method         string  `json:"method"`
+	Disclose       bool    `json:"disclose"`
+	Degraded       bool    `json:"degraded"`
+	DegradedReason string  `json:"degraded_reason,omitempty"`
+	AlphaMax       float64 `json:"alpha_max"`
+	OEFull         float64 `json:"oe_full"`
+	DeltaMed       float64 `json:"delta_med"`
+	Tolerance      float64 `json:"tolerance"`
+	Workers        int     `json:"workers"`
+	WallMS         int64   `json:"wall_ms"`
+	CPUMS          int64   `json:"cpu_ms"`
+}
+
+// Provenance projects the Result onto its serializable form.
+func (r *Result) Provenance() Provenance {
+	method := ""
+	switch r.Stage {
+	case StagePointValued:
+		method = MethodWorstCase
+	case StageCompliantInterval:
+		method = MethodOEstimate
+	case StageAlphaSearch:
+		method = MethodAlphaSearch
+	}
+	return Provenance{
+		Stage:          int(r.Stage),
+		Method:         method,
+		Disclose:       r.Disclose,
+		Degraded:       r.Degraded,
+		DegradedReason: r.DegradedReason,
+		AlphaMax:       r.AlphaMax,
+		OEFull:         r.OEFull,
+		DeltaMed:       r.DeltaMed,
+		Tolerance:      r.Tolerance,
+		Workers:        r.Workers,
+		WallMS:         r.Wall.Milliseconds(),
+		CPUMS:          r.CPU.Milliseconds(),
+	}
+}

@@ -1,0 +1,55 @@
+// Crash-safe file plumbing, the same temp-file+fsync+rename discipline as
+// internal/riskcache's snapshot writer: bytes land in a temporary file in
+// the destination directory (so the rename never crosses a filesystem),
+// are synced, and only then atomically renamed into place. A crash at any
+// point leaves either the old file or no file — never a readable prefix.
+package registry
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// AtomicWriteFile writes data to path atomically. cmd/experiments uses it
+// for -csv output and the Store uses it for every file inside a staged run
+// directory, so a partial table CSV can never be observed at its final name.
+func AtomicWriteFile(path string, data []byte, perm os.FileMode) error {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	tmp, err := os.CreateTemp(dir, "."+base+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		tmp.Close()
+		os.Remove(tmp.Name()) // no-op after a successful rename
+	}()
+	if _, err := tmp.Write(data); err != nil {
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		return err
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// syncDir fsyncs a directory so a just-created entry (file or renamed run
+// directory) survives power loss. Errors are returned for the caller to
+// surface; some filesystems reject directory fsync, so callers may choose
+// to tolerate it.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -1,0 +1,292 @@
+// Run diffing: cell-level comparison of two runs' stored tables with an
+// ε-aware float rule (|a−b| ≤ eps counts as equal, mirroring belief.EqualEps
+// — exact rationals rendered as float64 must not diff on formatting-level
+// noise), plus wall/CPU deltas from timing.json and a structural comparison
+// of the provenance records, so a degradation flip (exact → sampled, or a
+// Degraded=true creeping in) is a first-class diffable fact and not
+// something buried in a CSV cell.
+package registry
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// CellDiff is one differing table cell.
+type CellDiff struct {
+	Table    string  // file name, e.g. recipe-0.csv
+	Row, Col int     // 0-based data coordinates; Row -1 means header cell
+	RowLabel string  // first cell of the row, the human anchor
+	Column   string  // header of the column
+	A, B     string  // the raw cell values
+	Delta    float64 // B−A when both parse as floats, else 0
+	IsFloat  bool
+}
+
+// TableDiff collects the differences of one aligned table pair.
+type TableDiff struct {
+	File         string
+	Cells        []CellDiff
+	RowsA, RowsB int
+}
+
+// DiffReport is the full comparison of two runs.
+type DiffReport struct {
+	AID, BID   string
+	Eps        float64
+	Tables     []TableDiff
+	Structural []string // table-set or shape mismatches that defeat cell alignment
+	Provenance []string // changed provenance facts (wall/CPU/workers excluded)
+
+	// Volatile perf deltas from timing.json, reported but never part of
+	// Changed: a faster identical run is still identical.
+	AWallMS, BWallMS int64
+	ACPUMS, BCPUMS   int64
+}
+
+// CellCount returns the number of differing cells across all tables.
+func (d *DiffReport) CellCount() int {
+	n := 0
+	for _, t := range d.Tables {
+		n += len(t.Cells)
+	}
+	return n
+}
+
+// Changed reports whether the two runs disagree on any replayable fact:
+// differing cells, structural shape, or provenance. Timing deltas alone
+// never count.
+func (d *DiffReport) Changed() bool {
+	return d.CellCount() > 0 || len(d.Structural) > 0 || len(d.Provenance) > 0
+}
+
+// volatileProvKeys are provenance fields that legitimately vary between
+// byte-identical runs and are excluded from the provenance comparison.
+var volatileProvKeys = map[string]bool{"wall_ms": true, "cpu_ms": true, "workers": true}
+
+// Diff compares two loaded runs cell by cell. Tables are aligned by index;
+// runs of the same experiment name them identically, and a name mismatch is
+// reported as structural. eps ≤ 0 means exact string comparison only.
+func (s *Store) Diff(a, b *Run, eps float64) (*DiffReport, error) {
+	d := &DiffReport{
+		AID: a.ID(), BID: b.ID(), Eps: eps,
+		AWallMS: a.Timing.WallMS, BWallMS: b.Timing.WallMS,
+		ACPUMS: a.Timing.CPUMS, BCPUMS: b.Timing.CPUMS,
+	}
+	if a.Manifest.Experiment != b.Manifest.Experiment {
+		d.Structural = append(d.Structural, fmt.Sprintf(
+			"experiment %q vs %q", a.Manifest.Experiment, b.Manifest.Experiment))
+	}
+	if len(a.Manifest.Tables) != len(b.Manifest.Tables) {
+		d.Structural = append(d.Structural, fmt.Sprintf(
+			"%d tables vs %d", len(a.Manifest.Tables), len(b.Manifest.Tables)))
+	}
+	n := len(a.Manifest.Tables)
+	if len(b.Manifest.Tables) < n {
+		n = len(b.Manifest.Tables)
+	}
+	for k := 0; k < n; k++ {
+		ta, tb := a.Manifest.Tables[k], b.Manifest.Tables[k]
+		if ta.File != tb.File {
+			d.Structural = append(d.Structural, fmt.Sprintf(
+				"table %d named %s vs %s", k, ta.File, tb.File))
+		}
+		rawA, err := s.ReadTable(a, k)
+		if err != nil {
+			return nil, err
+		}
+		rawB, err := s.ReadTable(b, k)
+		if err != nil {
+			return nil, err
+		}
+		td, structural, err := diffTables(ta.File, rawA, rawB, eps)
+		if err != nil {
+			return nil, err
+		}
+		d.Structural = append(d.Structural, structural...)
+		if len(td.Cells) > 0 || td.RowsA != td.RowsB {
+			d.Tables = append(d.Tables, td)
+		}
+	}
+	prov, err := diffProvenance(a.Manifest.Provenance, b.Manifest.Provenance, eps)
+	if err != nil {
+		return nil, err
+	}
+	d.Provenance = prov
+	return d, nil
+}
+
+// parseCSV reads a stored table: first record is the header, the rest data.
+func parseCSV(name string, raw []byte) (header []string, rows [][]string, err error) {
+	r := csv.NewReader(strings.NewReader(string(raw)))
+	r.FieldsPerRecord = -1
+	all, err := r.ReadAll()
+	if err != nil {
+		return nil, nil, fmt.Errorf("registry: parsing %s: %w", name, err)
+	}
+	if len(all) == 0 {
+		return nil, nil, nil
+	}
+	return all[0], all[1:], nil
+}
+
+func diffTables(file string, rawA, rawB []byte, eps float64) (TableDiff, []string, error) {
+	td := TableDiff{File: file}
+	var structural []string
+	headA, rowsA, err := parseCSV(file, rawA)
+	if err != nil {
+		return td, nil, err
+	}
+	headB, rowsB, err := parseCSV(file, rawB)
+	if err != nil {
+		return td, nil, err
+	}
+	td.RowsA, td.RowsB = len(rowsA), len(rowsB)
+	compareRow := func(rowIdx int, ra, rb []string) {
+		label := ""
+		if rowIdx >= 0 && len(ra) > 0 {
+			label = ra[0]
+		}
+		n := len(ra)
+		if len(rb) > n {
+			n = len(rb)
+		}
+		for c := 0; c < n; c++ {
+			va, vb := "", ""
+			if c < len(ra) {
+				va = ra[c]
+			}
+			if c < len(rb) {
+				vb = rb[c]
+			}
+			if eq, delta, isFloat := cellsEqual(va, vb, eps); !eq {
+				col := ""
+				if c < len(headA) {
+					col = headA[c]
+				}
+				td.Cells = append(td.Cells, CellDiff{
+					Table: file, Row: rowIdx, Col: c,
+					RowLabel: label, Column: col,
+					A: va, B: vb, Delta: delta, IsFloat: isFloat,
+				})
+			}
+		}
+	}
+	compareRow(-1, headA, headB)
+	n := len(rowsA)
+	if len(rowsB) < n {
+		n = len(rowsB)
+	}
+	for i := 0; i < n; i++ {
+		compareRow(i, rowsA[i], rowsB[i])
+	}
+	if len(rowsA) != len(rowsB) {
+		structural = append(structural, fmt.Sprintf(
+			"%s: %d rows vs %d", file, len(rowsA), len(rowsB)))
+	}
+	return td, structural, nil
+}
+
+// cellsEqual applies the ε-aware comparison: byte equality first, then — when
+// both cells parse as floats — |a−b| ≤ eps.
+func cellsEqual(a, b string, eps float64) (eq bool, delta float64, isFloat bool) {
+	if a == b {
+		return true, 0, false
+	}
+	fa, errA := strconv.ParseFloat(strings.TrimSpace(a), 64)
+	fb, errB := strconv.ParseFloat(strings.TrimSpace(b), 64)
+	if errA != nil || errB != nil {
+		return false, 0, false
+	}
+	delta = fb - fa
+	return math.Abs(delta) <= eps, delta, true
+}
+
+// diffProvenance compares the two runs' provenance JSON generically, so the
+// registry needs no knowledge of the recipe's provenance schema. Volatile
+// keys (wall_ms, cpu_ms, workers) are skipped; numbers use the ε rule.
+func diffProvenance(a, b json.RawMessage, eps float64) ([]string, error) {
+	if len(a) == 0 && len(b) == 0 {
+		return nil, nil
+	}
+	var va, vb any
+	if len(a) > 0 {
+		if err := json.Unmarshal(a, &va); err != nil {
+			return nil, fmt.Errorf("registry: provenance of run A does not parse: %w", err)
+		}
+	}
+	if len(b) > 0 {
+		if err := json.Unmarshal(b, &vb); err != nil {
+			return nil, fmt.Errorf("registry: provenance of run B does not parse: %w", err)
+		}
+	}
+	var out []string
+	walkProvDiff("provenance", va, vb, eps, &out)
+	return out, nil
+}
+
+func walkProvDiff(path string, a, b any, eps float64, out *[]string) {
+	switch av := a.(type) {
+	case map[string]any:
+		bv, ok := b.(map[string]any)
+		if !ok {
+			*out = append(*out, fmt.Sprintf("%s: %s vs %s", path, provRender(a), provRender(b)))
+			return
+		}
+		keys := make([]string, 0, len(av)+len(bv))
+		for k := range av {
+			keys = append(keys, k)
+		}
+		for k := range bv {
+			if _, dup := av[k]; !dup {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if volatileProvKeys[k] {
+				continue
+			}
+			walkProvDiff(path+"."+k, av[k], bv[k], eps, out)
+		}
+	case []any:
+		bv, ok := b.([]any)
+		if !ok {
+			*out = append(*out, fmt.Sprintf("%s: %s vs %s", path, provRender(a), provRender(b)))
+			return
+		}
+		if len(av) != len(bv) {
+			*out = append(*out, fmt.Sprintf("%s: %d entries vs %d", path, len(av), len(bv)))
+		}
+		n := len(av)
+		if len(bv) < n {
+			n = len(bv)
+		}
+		for i := 0; i < n; i++ {
+			walkProvDiff(fmt.Sprintf("%s[%d]", path, i), av[i], bv[i], eps, out)
+		}
+	case float64:
+		bf, ok := b.(float64)
+		if !ok || !(math.Abs(bf-av) <= eps) {
+			*out = append(*out, fmt.Sprintf("%s: %s -> %s", path, provRender(a), provRender(b)))
+		}
+	default:
+		// strings, bools, nils: exact comparison via rendered form.
+		if provRender(a) != provRender(b) {
+			*out = append(*out, fmt.Sprintf("%s: %s -> %s", path, provRender(a), provRender(b)))
+		}
+	}
+}
+
+func provRender(v any) string {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Sprintf("%v", v)
+	}
+	return string(data)
+}

@@ -1,0 +1,150 @@
+package registry
+
+// Diff semantics: ε-aware float cells, structural reporting, volatile
+// provenance keys, and the Changed contract (timing deltas never count).
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func recordPair(t *testing.T, s *Store, a, b RunSpec) (*Run, *Run) {
+	t.Helper()
+	ra, err := s.Record(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := s.Record(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ra, rb
+}
+
+func TestDiffIdenticalRunsReportNothing(t *testing.T) {
+	s := testStore(t)
+	a := sampleSpec("demo", 7)
+	b := sampleSpec("demo", 7)
+	b.Wall, b.CPU = 9*time.Second, 11*time.Second // volatile only
+	ra, rb := recordPair(t, s, a, b)
+	d, err := s.Diff(ra, rb, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Changed() || d.CellCount() != 0 {
+		t.Errorf("identical tables diff as changed: %+v", d)
+	}
+	if d.BWallMS-d.AWallMS != 9000-1500 {
+		t.Errorf("wall delta = %d", d.BWallMS-d.AWallMS)
+	}
+}
+
+func TestDiffEpsAbsorbsFloatNoise(t *testing.T) {
+	s := testStore(t)
+	a := sampleSpec("demo", 7)
+	a.Tables = []SpecTable{{Name: "demo-0", CSV: []byte("x,y\nrow,1.000000\n")}}
+	b := sampleSpec("demo", 7)
+	b.Tables = []SpecTable{{Name: "demo-0", CSV: []byte("x,y\nrow,1.0000000000001\n")}}
+	ra, rb := recordPair(t, s, a, b)
+
+	d, err := s.Diff(ra, rb, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.CellCount() != 0 {
+		t.Errorf("eps=1e-9 should absorb 1e-13 noise: %+v", d.Tables)
+	}
+	d, err = s.Diff(ra, rb, 1e-15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.CellCount() != 1 {
+		t.Fatalf("eps=1e-15 should flag the cell: %+v", d.Tables)
+	}
+	c := d.Tables[0].Cells[0]
+	if !c.IsFloat || c.Row != 0 || c.Col != 1 || c.Column != "y" || c.RowLabel != "row" {
+		t.Errorf("cell coordinates: %+v", c)
+	}
+}
+
+func TestDiffReportsExactCellsAndStrings(t *testing.T) {
+	s := testStore(t)
+	a := sampleSpec("demo", 7)
+	a.Tables = []SpecTable{{Name: "demo-0", CSV: []byte("ds,v,verdict\nA,1.5,disclose\nB,2.5,disclose\n")}}
+	b := sampleSpec("demo", 7)
+	b.Tables = []SpecTable{{Name: "demo-0", CSV: []byte("ds,v,verdict\nA,1.5,disclose\nB,2.75,withhold\n")}}
+	ra, rb := recordPair(t, s, a, b)
+	d, err := s.Diff(ra, rb, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.CellCount() != 2 {
+		t.Fatalf("want exactly the 2 perturbed cells, got %d: %+v", d.CellCount(), d.Tables)
+	}
+	cells := d.Tables[0].Cells
+	if cells[0].Row != 1 || cells[0].Col != 1 || !cells[0].IsFloat || cells[0].Delta != 0.25 {
+		t.Errorf("float cell: %+v", cells[0])
+	}
+	if cells[1].Row != 1 || cells[1].Col != 2 || cells[1].IsFloat || cells[1].B != "withhold" {
+		t.Errorf("string cell: %+v", cells[1])
+	}
+}
+
+func TestDiffStructuralRowAndTableMismatch(t *testing.T) {
+	s := testStore(t)
+	a := sampleSpec("demo", 7)
+	b := sampleSpec("demo", 7)
+	b.Tables = []SpecTable{{Name: "demo-0", Title: "t0", CSV: []byte("a,b\n1,2.50\n")}} // one row and one table fewer
+	ra, rb := recordPair(t, s, a, b)
+	d, err := s.Diff(ra, rb, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Changed() || len(d.Structural) == 0 {
+		t.Fatalf("structural mismatch not reported: %+v", d)
+	}
+	joined := strings.Join(d.Structural, "; ")
+	if !strings.Contains(joined, "2 tables vs 1") || !strings.Contains(joined, "2 rows vs 1") {
+		t.Errorf("structural notes: %q", joined)
+	}
+}
+
+func TestDiffProvenanceSkipsVolatileKeys(t *testing.T) {
+	s := testStore(t)
+	a := sampleSpec("demo", 7)
+	a.Provenance = json.RawMessage(`[{"row":"A","degraded":false,"method":"oestimate","wall_ms":10,"cpu_ms":20,"workers":1}]`)
+	b := sampleSpec("demo", 7)
+	b.Provenance = json.RawMessage(`[{"row":"A","degraded":true,"method":"alpha-search","wall_ms":99,"cpu_ms":5,"workers":8}]`)
+	ra, rb := recordPair(t, s, a, b)
+	d, err := s.Diff(ra, rb, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(d.Provenance, "; ")
+	if !strings.Contains(joined, "degraded") || !strings.Contains(joined, "method") {
+		t.Errorf("degradation flip not reported: %q", joined)
+	}
+	if strings.Contains(joined, "wall_ms") || strings.Contains(joined, "cpu_ms") || strings.Contains(joined, "workers") {
+		t.Errorf("volatile provenance keys must be skipped: %q", joined)
+	}
+	if !d.Changed() {
+		t.Errorf("a degradation flip must count as changed")
+	}
+
+	// Identical provenance modulo volatile keys: no change at all.
+	c := sampleSpec("demo", 7)
+	c.Provenance = json.RawMessage(`[{"row":"A","degraded":false,"method":"oestimate","wall_ms":77,"cpu_ms":1,"workers":4}]`)
+	rc, err := s.Record(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err = s.Diff(ra, rc, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Provenance) != 0 || d.Changed() {
+		t.Errorf("volatile-only provenance delta reported: %+v", d.Provenance)
+	}
+}

@@ -1,0 +1,153 @@
+// The manifest format. Each run directory holds:
+//
+//	manifest.json   RREG1 envelope: {"format","crc32","payload":{...}}
+//	<table>.csv     one CSV per result table, named <experiment>-<k>.csv
+//	timing.json     volatile facts: creation time, wall/CPU milliseconds
+//
+// The envelope reuses the RSNP1 integrity discipline from
+// internal/riskcache/snapshot.go, adapted to JSON: crc32 is IEEE CRC-32
+// over the *compacted* payload bytes, so whitespace-only reformatting is
+// harmless but a single flipped bit in any identity field, table checksum,
+// or provenance record fails the load. Table files carry their own CRC and
+// byte count inside the payload, so a torn CSV is detected without trusting
+// file timestamps. timing.json sits outside the CRC on purpose: wall and
+// CPU time legitimately differ between a run and its replay, and must never
+// make a bit-identical result look corrupt.
+package registry
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+)
+
+// manifestFormat tags the envelope; bump it if the payload shape ever
+// changes incompatibly.
+const manifestFormat = "RREG1"
+
+// ErrCorrupt reports a run record that failed an integrity check — a
+// manifest that does not parse, a CRC mismatch, or a table file whose bytes
+// disagree with the manifest. Loads fail whole: a corrupt run is never
+// half-visible.
+var ErrCorrupt = errors.New("registry: corrupt run record")
+
+// ErrNotExist reports a run id with no record in the store.
+var ErrNotExist = errors.New("registry: run does not exist")
+
+// Input content-addresses one input a run consumed, e.g. a generated
+// benchmark dataset or a belief function.
+type Input struct {
+	Kind   string `json:"kind"`
+	Name   string `json:"name"`
+	Digest string `json:"digest"`
+}
+
+// TableFile describes one stored result table.
+type TableFile struct {
+	File  string `json:"file"`
+	Title string `json:"title,omitempty"`
+	Bytes int64  `json:"bytes"`
+	CRC32 uint32 `json:"crc32"`
+}
+
+// Manifest is the CRC-protected identity of a run: everything the replay
+// needs to re-execute it and everything the diff needs to explain it.
+type Manifest struct {
+	RunID      string          `json:"run_id"`
+	Experiment string          `json:"experiment"`
+	Title      string          `json:"title,omitempty"`
+	Seed       int64           `json:"seed"`
+	Quick      bool            `json:"quick"`
+	Workers    int             `json:"workers"`
+	GitRev     string          `json:"git_rev"`
+	ContentKey string          `json:"content_key"`
+	Inputs     []Input         `json:"inputs,omitempty"`
+	Tables     []TableFile     `json:"tables"`
+	Notes      []string        `json:"notes,omitempty"`
+	Provenance json.RawMessage `json:"provenance,omitempty"`
+}
+
+// Timing holds the volatile per-run measurements, stored beside the
+// manifest rather than inside it so they stay out of the integrity check.
+type Timing struct {
+	CreatedUnixMS int64 `json:"created_unix_ms"`
+	WallMS        int64 `json:"wall_ms"`
+	CPUMS         int64 `json:"cpu_ms"`
+}
+
+type manifestEnvelope struct {
+	Format  string          `json:"format"`
+	CRC32   uint32          `json:"crc32"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// crcBytes is IEEE CRC-32 over raw bytes (table files).
+func crcBytes(data []byte) uint32 { return crc32.ChecksumIEEE(data) }
+
+// payloadCRC is IEEE CRC-32 over the compacted payload bytes.
+func payloadCRC(raw json.RawMessage) (uint32, error) {
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, raw); err != nil {
+		return 0, err
+	}
+	return crc32.ChecksumIEEE(buf.Bytes()), nil
+}
+
+// encodeManifest renders the envelope with its payload CRC filled in.
+func encodeManifest(m *Manifest) ([]byte, error) {
+	payload, err := json.MarshalIndent(m, "    ", "  ")
+	if err != nil {
+		return nil, err
+	}
+	crc, err := payloadCRC(payload)
+	if err != nil {
+		return nil, err
+	}
+	env := manifestEnvelope{Format: manifestFormat, CRC32: crc, Payload: payload}
+	data, err := json.MarshalIndent(&env, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// decodeManifest parses and integrity-checks a manifest file's bytes.
+func decodeManifest(data []byte) (*Manifest, error) {
+	var env manifestEnvelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("%w: manifest does not parse: %v", ErrCorrupt, err)
+	}
+	if env.Format != manifestFormat {
+		return nil, fmt.Errorf("%w: manifest format %q, want %q", ErrCorrupt, env.Format, manifestFormat)
+	}
+	crc, err := payloadCRC(env.Payload)
+	if err != nil {
+		return nil, fmt.Errorf("%w: manifest payload does not compact: %v", ErrCorrupt, err)
+	}
+	if crc != env.CRC32 {
+		return nil, fmt.Errorf("%w: manifest crc32 %08x, recorded %08x", ErrCorrupt, crc, env.CRC32)
+	}
+	var m Manifest
+	if err := json.Unmarshal(env.Payload, &m); err != nil {
+		return nil, fmt.Errorf("%w: manifest payload does not parse: %v", ErrCorrupt, err)
+	}
+	return &m, nil
+}
+
+// readTiming loads timing.json. Timing is advisory: a missing or corrupt
+// timing file yields zero values, never a failed load — it carries no
+// replayable fact.
+func readTiming(path string) Timing {
+	var tm Timing
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Timing{}
+	}
+	if err := json.Unmarshal(data, &tm); err != nil {
+		return Timing{}
+	}
+	return tm
+}

@@ -1,0 +1,330 @@
+// Package registry is the persistent experiment run store: every invocation
+// of cmd/experiments can record the tables it produced as an append-only,
+// content-addressed run record that later sessions list, show, diff, and —
+// because the manifest pins (experiment, seed, quick, workers, git rev,
+// input digests) — replay bit-for-bit. The golden files under
+// internal/experiments/testdata pin only HEAD's behavior; the registry turns
+// the same tables into a trajectory, so accuracy drift and degradation
+// changes across PRs are queryable artifacts instead of overwritten history.
+//
+// Layout (append-only; one directory per run, committed atomically):
+//
+//	<root>/runs/<ULID>/manifest.json
+//	<root>/runs/<ULID>/<experiment>-<k>.csv
+//	<root>/runs/<ULID>/timing.json
+//
+// A run is staged in a dot-prefixed temp directory under <root>/runs and
+// renamed into place only after every file inside it is written and synced,
+// so a crashed run never leaves a readable-but-partial record: List skips
+// dot-prefixed leftovers, and a record is only visible once complete.
+package registry
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Store is a run registry rooted at a directory. It is safe for concurrent
+// use within one process; cross-process safety comes from the atomic
+// directory rename (two writers can race but each commits a whole run).
+type Store struct {
+	root string
+
+	mu      sync.Mutex
+	now     func() time.Time
+	entropy io.Reader
+	lastMS  uint64
+	lastEnt [10]byte
+}
+
+// Open creates (if needed) and returns the store rooted at dir.
+func Open(dir string) (*Store, error) {
+	s := &Store{root: dir, now: time.Now, entropy: cryptoEntropy}
+	if err := os.MkdirAll(s.runsDir(), 0o755); err != nil {
+		return nil, fmt.Errorf("registry: opening store: %w", err)
+	}
+	return s, nil
+}
+
+func (s *Store) runsDir() string { return filepath.Join(s.root, "runs") }
+
+// runDir returns the directory a run id maps to, refusing ids that are not
+// well-formed ULIDs (which also blocks path traversal through `show ../x`).
+func (s *Store) runDir(id string) (string, error) {
+	if !ValidID(id) {
+		return "", fmt.Errorf("registry: invalid run id %q", id)
+	}
+	return filepath.Join(s.runsDir(), id), nil
+}
+
+// SpecTable is one result table to record: Name becomes <Name>.csv inside
+// the run directory and must be unique within the run.
+type SpecTable struct {
+	Name  string
+	Title string
+	CSV   []byte
+}
+
+// RunSpec is everything Record needs to mint a run.
+type RunSpec struct {
+	Experiment string
+	Title      string
+	Seed       int64
+	Quick      bool
+	Workers    int
+	GitRev     string
+	Inputs     []Input
+	Tables     []SpecTable
+	Notes      []string
+	Provenance json.RawMessage
+	Wall, CPU  time.Duration
+}
+
+// Run is a loaded, integrity-checked run record.
+type Run struct {
+	Dir      string
+	Manifest Manifest
+	Timing   Timing
+}
+
+// ID returns the run's identifier.
+func (r *Run) ID() string { return r.Manifest.RunID }
+
+var tableNameRe = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]*$`)
+
+// ContentKey derives the run's content address: a hex SHA-256 over the
+// identity tuple (experiment id, seed, quick, workers, git rev) and the
+// sorted input digests. Two runs with equal keys claim the same computation;
+// diff between them proving zero changed cells is the trajectory invariant.
+func (spec *RunSpec) ContentKey() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\nexperiment=%s\nseed=%d\nquick=%t\nworkers=%d\ngitrev=%s\n",
+		manifestFormat, spec.Experiment, spec.Seed, spec.Quick, spec.Workers, spec.GitRev)
+	inputs := append([]Input(nil), spec.Inputs...)
+	sort.Slice(inputs, func(i, j int) bool {
+		a, b := inputs[i], inputs[j]
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		return a.Digest < b.Digest
+	})
+	for _, in := range inputs {
+		fmt.Fprintf(h, "input=%s:%s:%s\n", in.Kind, in.Name, in.Digest)
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+// Record stores one run and returns the loaded record. The run directory
+// appears atomically: all tables, timing.json, and finally manifest.json are
+// written and synced inside a staging directory, which is then renamed to
+// its ULID name. A crash mid-record leaves only a dot-prefixed staging
+// directory that List ignores.
+func (s *Store) Record(spec RunSpec) (*Run, error) {
+	if spec.Experiment == "" {
+		return nil, fmt.Errorf("registry: RunSpec.Experiment is required")
+	}
+	seen := make(map[string]bool, len(spec.Tables))
+	for _, tb := range spec.Tables {
+		if !tableNameRe.MatchString(tb.Name) {
+			return nil, fmt.Errorf("registry: invalid table name %q", tb.Name)
+		}
+		if seen[tb.Name] {
+			return nil, fmt.Errorf("registry: duplicate table name %q", tb.Name)
+		}
+		seen[tb.Name] = true
+	}
+
+	s.mu.Lock()
+	id, err := s.newIDLocked()
+	createdMS := s.now().UnixMilli()
+	s.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+
+	m := Manifest{
+		RunID:      id,
+		Experiment: spec.Experiment,
+		Title:      spec.Title,
+		Seed:       spec.Seed,
+		Quick:      spec.Quick,
+		Workers:    spec.Workers,
+		GitRev:     spec.GitRev,
+		ContentKey: spec.ContentKey(),
+		Inputs:     spec.Inputs,
+		Notes:      spec.Notes,
+		Provenance: spec.Provenance,
+	}
+
+	stage, err := os.MkdirTemp(s.runsDir(), "."+id+".stage-")
+	if err != nil {
+		return nil, fmt.Errorf("registry: staging run: %w", err)
+	}
+	defer os.RemoveAll(stage) // no-op after a successful rename
+
+	for _, tb := range spec.Tables {
+		file := tb.Name + ".csv"
+		if err := AtomicWriteFile(filepath.Join(stage, file), tb.CSV, 0o644); err != nil {
+			return nil, fmt.Errorf("registry: writing table %s: %w", file, err)
+		}
+		m.Tables = append(m.Tables, TableFile{
+			File:  file,
+			Title: tb.Title,
+			Bytes: int64(len(tb.CSV)),
+			CRC32: crcBytes(tb.CSV),
+		})
+	}
+
+	timing := Timing{
+		CreatedUnixMS: createdMS,
+		WallMS:        spec.Wall.Milliseconds(),
+		CPUMS:         spec.CPU.Milliseconds(),
+	}
+	timingData, err := json.MarshalIndent(&timing, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	if err := AtomicWriteFile(filepath.Join(stage, "timing.json"), append(timingData, '\n'), 0o644); err != nil {
+		return nil, fmt.Errorf("registry: writing timing: %w", err)
+	}
+
+	// The manifest goes last: a staging directory without one is trivially
+	// recognizable as incomplete.
+	manifestData, err := encodeManifest(&m)
+	if err != nil {
+		return nil, err
+	}
+	if err := AtomicWriteFile(filepath.Join(stage, "manifest.json"), manifestData, 0o644); err != nil {
+		return nil, fmt.Errorf("registry: writing manifest: %w", err)
+	}
+	if err := syncDir(stage); err != nil {
+		return nil, fmt.Errorf("registry: syncing staged run: %w", err)
+	}
+
+	final := filepath.Join(s.runsDir(), id)
+	if err := os.Rename(stage, final); err != nil {
+		return nil, fmt.Errorf("registry: committing run: %w", err)
+	}
+	if err := syncDir(s.runsDir()); err != nil {
+		return nil, fmt.Errorf("registry: syncing runs directory: %w", err)
+	}
+	return &Run{Dir: final, Manifest: m, Timing: timing}, nil
+}
+
+// Load reads and integrity-checks the run with the given id. Any corruption
+// — unparseable or CRC-mismatching manifest, missing table file, table bytes
+// that disagree with the manifest — fails the whole load with ErrCorrupt in
+// the chain; a valid-but-absent id fails with ErrNotExist.
+func (s *Store) Load(id string) (*Run, error) {
+	dir, err := s.runDir(id)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("%w: %s", ErrNotExist, id)
+		}
+		return nil, fmt.Errorf("registry: reading manifest of %s: %w", id, err)
+	}
+	m, err := decodeManifest(data)
+	if err != nil {
+		return nil, fmt.Errorf("run %s: %w", id, err)
+	}
+	if m.RunID != id {
+		return nil, fmt.Errorf("run %s: %w: manifest names run %s", id, ErrCorrupt, m.RunID)
+	}
+	for _, tf := range m.Tables {
+		if filepath.Base(tf.File) != tf.File || strings.HasPrefix(tf.File, ".") {
+			return nil, fmt.Errorf("run %s: %w: unsafe table file name %q", id, ErrCorrupt, tf.File)
+		}
+		blob, err := os.ReadFile(filepath.Join(dir, tf.File))
+		if err != nil {
+			return nil, fmt.Errorf("run %s: %w: table %s unreadable: %v", id, ErrCorrupt, tf.File, err)
+		}
+		if int64(len(blob)) != tf.Bytes || crcBytes(blob) != tf.CRC32 {
+			return nil, fmt.Errorf("run %s: %w: table %s is %d bytes crc %08x, manifest says %d bytes crc %08x",
+				id, ErrCorrupt, tf.File, len(blob), crcBytes(blob), tf.Bytes, tf.CRC32)
+		}
+	}
+	return &Run{Dir: dir, Manifest: *m, Timing: readTiming(filepath.Join(dir, "timing.json"))}, nil
+}
+
+// ReadTable returns the bytes of the k-th table of a loaded run, re-checked
+// against the manifest's CRC.
+func (s *Store) ReadTable(run *Run, k int) ([]byte, error) {
+	if k < 0 || k >= len(run.Manifest.Tables) {
+		return nil, fmt.Errorf("registry: run %s has no table %d", run.ID(), k)
+	}
+	tf := run.Manifest.Tables[k]
+	blob, err := os.ReadFile(filepath.Join(run.Dir, tf.File))
+	if err != nil {
+		return nil, fmt.Errorf("run %s: %w: table %s unreadable: %v", run.ID(), ErrCorrupt, tf.File, err)
+	}
+	if int64(len(blob)) != tf.Bytes || crcBytes(blob) != tf.CRC32 {
+		return nil, fmt.Errorf("run %s: %w: table %s fails its checksum", run.ID(), ErrCorrupt, tf.File)
+	}
+	return blob, nil
+}
+
+// Entry is one row of List: a loaded run, or — when the record is corrupt —
+// the id with the diagnostic. A corrupt run is reported, never half-loaded.
+type Entry struct {
+	ID  string
+	Run *Run
+	Err error
+}
+
+// List returns every committed run in id (= chronological) order. Staging
+// leftovers and foreign directories are ignored; corrupt records come back
+// as Entry{Err: ...} so callers can surface the diagnostic.
+func (s *Store) List() ([]Entry, error) {
+	dirents, err := os.ReadDir(s.runsDir())
+	if err != nil {
+		return nil, fmt.Errorf("registry: listing runs: %w", err)
+	}
+	var out []Entry
+	for _, de := range dirents {
+		name := de.Name()
+		if strings.HasPrefix(name, ".") || !de.IsDir() || !ValidID(name) {
+			continue
+		}
+		run, err := s.Load(name)
+		if err != nil {
+			out = append(out, Entry{ID: name, Err: err})
+			continue
+		}
+		out = append(out, Entry{ID: name, Run: run})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}
+
+// GitRev returns the repository HEAD revision (12 hex chars) for dir, or
+// "unknown" when git is unavailable — the registry must keep working from a
+// release tarball.
+func GitRev(dir string) string {
+	cmd := exec.Command("git", "-C", dir, "rev-parse", "--short=12", "HEAD")
+	out, err := cmd.Output()
+	if err != nil {
+		return "unknown"
+	}
+	rev := strings.TrimSpace(string(out))
+	if rev == "" {
+		return "unknown"
+	}
+	return rev
+}

@@ -1,0 +1,343 @@
+package registry
+
+// Store round-trip and corruption tests, mirroring the snapshot_test.go
+// discipline: a record either loads whole and checksum-clean, or fails with
+// a diagnostic — never half-loaded. Corruption is simulated the same way
+// (truncation, single bit flips) against real on-disk records.
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// testStore returns a store with a deterministic clock (1ms per id) and
+// entropy, so ids are stable and strictly increasing.
+func testStore(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tick int64
+	s.now = func() time.Time {
+		tick++
+		return time.UnixMilli(1700000000000 + tick)
+	}
+	s.entropy = strings.NewReader(strings.Repeat("registry entropy stream ", 64))
+	return s
+}
+
+func sampleSpec(exp string, seed int64) RunSpec {
+	return RunSpec{
+		Experiment: exp,
+		Title:      "title of " + exp,
+		Seed:       seed,
+		Quick:      true,
+		Workers:    2,
+		GitRev:     "abcdef123456",
+		Inputs: []Input{
+			{Kind: "dataset", Name: "CONNECT", Digest: "d1"},
+			{Kind: "belief", Name: "CONNECT/uniform", Digest: "b1"},
+		},
+		Tables: []SpecTable{
+			{Name: exp + "-0", Title: "t0", CSV: []byte("a,b\n1,2.50\n3,4\n")},
+			{Name: exp + "-1", Title: "t1", CSV: []byte("x\nhello\n")},
+		},
+		Notes:      []string{"a note"},
+		Provenance: json.RawMessage(`[{"row":"CONNECT","degraded":false,"wall_ms":12}]`),
+		Wall:       1500 * time.Millisecond,
+		CPU:        2500 * time.Millisecond,
+	}
+}
+
+func TestRecordLoadRoundTrip(t *testing.T) {
+	s := testStore(t)
+	run, err := s.Record(sampleSpec("demo", 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ValidID(run.ID()) {
+		t.Fatalf("run id %q is not a valid ULID", run.ID())
+	}
+
+	got, err := s.Load(run.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := got.Manifest
+	if m.Experiment != "demo" || m.Seed != 7 || !m.Quick || m.Workers != 2 || m.GitRev != "abcdef123456" {
+		t.Errorf("identity fields round-trip: %+v", m)
+	}
+	want := sampleSpec("demo", 7)
+	if m.ContentKey == "" || m.ContentKey != want.ContentKey() {
+		t.Errorf("content key mismatch: %q", m.ContentKey)
+	}
+	if len(m.Inputs) != 2 || m.Inputs[0].Digest != "d1" {
+		t.Errorf("inputs round-trip: %+v", m.Inputs)
+	}
+	if len(m.Tables) != 2 || m.Tables[0].File != "demo-0.csv" {
+		t.Fatalf("tables round-trip: %+v", m.Tables)
+	}
+	if got.Timing.WallMS != 1500 || got.Timing.CPUMS != 2500 {
+		t.Errorf("timing round-trip: %+v", got.Timing)
+	}
+	blob, err := s.ReadTable(got, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob, []byte("a,b\n1,2.50\n3,4\n")) {
+		t.Errorf("table bytes round-trip: %q", blob)
+	}
+}
+
+func TestContentKeyIgnoresInputOrder(t *testing.T) {
+	a := sampleSpec("demo", 7)
+	b := sampleSpec("demo", 7)
+	b.Inputs = []Input{b.Inputs[1], b.Inputs[0]}
+	if a.ContentKey() != b.ContentKey() {
+		t.Errorf("content key depends on input order")
+	}
+	c := sampleSpec("demo", 8)
+	if a.ContentKey() == c.ContentKey() {
+		t.Errorf("content key ignores the seed")
+	}
+}
+
+func TestIDsMonotonicAndSorted(t *testing.T) {
+	s := testStore(t)
+	var prev string
+	for i := 0; i < 50; i++ {
+		run, err := s.Record(RunSpec{Experiment: "demo", Tables: []SpecTable{{Name: "demo-0", CSV: []byte("a\n1\n")}}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if run.ID() <= prev {
+			t.Fatalf("id %d (%s) does not sort after its predecessor (%s)", i, run.ID(), prev)
+		}
+		prev = run.ID()
+	}
+	entries, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 50 {
+		t.Fatalf("List returned %d entries, want 50", len(entries))
+	}
+}
+
+func TestIDsMonotonicWithinOneMillisecond(t *testing.T) {
+	s := testStore(t)
+	s.now = func() time.Time { return time.UnixMilli(1700000000000) } // frozen clock
+	a, err := s.newIDLockedForTest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.newIDLockedForTest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b <= a {
+		t.Errorf("same-millisecond ids not monotonic: %s then %s", a, b)
+	}
+}
+
+func TestLoadMissingAndInvalidIDs(t *testing.T) {
+	s := testStore(t)
+	if _, err := s.Load("01ARZ3NDEKTSV4RRFFQ69G5FAV"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("missing run: err = %v, want ErrNotExist", err)
+	}
+	for _, id := range []string{"", "../../etc/passwd", "short", "01ARZ3NDEKTSV4RRFFQ69G5FAU"} { // U not in alphabet
+		if _, err := s.Load(id); err == nil || errors.Is(err, ErrNotExist) {
+			t.Errorf("Load(%q) = %v, want invalid-id error", id, err)
+		}
+	}
+}
+
+// corrupt flips one byte in the named file of a run directory.
+func corrupt(t *testing.T, s *Store, id, file string, off int) {
+	t.Helper()
+	path := filepath.Join(s.runsDir(), id, file)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off < 0 {
+		off = len(data) + off
+	}
+	data[off] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitFlippedManifestIsRejectedWholesale(t *testing.T) {
+	s := testStore(t)
+	run, err := s.Record(sampleSpec("demo", 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte inside the payload (the seed digit region): the CRC must
+	// catch it even though the JSON may still parse.
+	path := filepath.Join(s.runsDir(), run.ID(), "manifest.json")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := bytes.Index(data, []byte(`"seed": 7`))
+	if i < 0 {
+		t.Fatalf("manifest layout changed; no seed field in %s", data)
+	}
+	data[i+len(`"seed": `)] = '9'
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Load(run.ID()); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("bit-flipped manifest: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestTruncatedManifestIsRejected(t *testing.T) {
+	s := testStore(t)
+	run, err := s.Record(sampleSpec("demo", 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(s.runsDir(), run.ID(), "manifest.json")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Load(run.ID()); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("truncated manifest: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestCorruptTableFailsLoad(t *testing.T) {
+	s := testStore(t)
+	run, err := s.Record(sampleSpec("demo", 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt(t, s, run.ID(), "demo-0.csv", 3)
+	if _, err := s.Load(run.ID()); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("corrupt table: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestListSkipsCorruptWithDiagnosticAndKeepsRest(t *testing.T) {
+	s := testStore(t)
+	good, err := s.Record(sampleSpec("good", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := s.Record(sampleSpec("bad", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt(t, s, bad.ID(), "manifest.json", -2)
+
+	entries, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("List returned %d entries, want 2", len(entries))
+	}
+	byID := map[string]Entry{}
+	for _, e := range entries {
+		byID[e.ID] = e
+	}
+	if e := byID[good.ID()]; e.Err != nil || e.Run == nil {
+		t.Errorf("good run: %+v", e)
+	}
+	if e := byID[bad.ID()]; e.Err == nil || e.Run != nil {
+		t.Errorf("corrupt run must surface Err and no Run: %+v", e)
+	} else if !errors.Is(e.Err, ErrCorrupt) {
+		t.Errorf("corrupt run diagnostic: %v", e.Err)
+	}
+}
+
+func TestListIgnoresStagingLeftovers(t *testing.T) {
+	s := testStore(t)
+	if _, err := s.Record(sampleSpec("demo", 1)); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-record: a dot-prefixed staging directory with a
+	// partial table and no manifest.
+	stage := filepath.Join(s.runsDir(), ".01FAKEULID.stage-crashed")
+	if err := os.MkdirAll(stage, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(stage, "demo-0.csv"), []byte("a,b\n1"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// And a foreign directory that is not a ULID at all.
+	if err := os.MkdirAll(filepath.Join(s.runsDir(), "not-a-run"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("List returned %d entries, want 1 (staging and foreign dirs ignored)", len(entries))
+	}
+}
+
+func TestAtomicWriteFileReplacesWholly(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.csv")
+	if err := AtomicWriteFile(path, []byte("old contents\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := AtomicWriteFile(path, []byte("new\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "new\n" {
+		t.Errorf("content = %q", data)
+	}
+	dirents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirents) != 1 {
+		t.Errorf("temp files left behind: %v", dirents)
+	}
+}
+
+func TestRecordRejectsBadTableNames(t *testing.T) {
+	s := testStore(t)
+	for _, name := range []string{"", "../evil", "a/b", ".hidden"} {
+		spec := RunSpec{Experiment: "demo", Tables: []SpecTable{{Name: name, CSV: []byte("a\n")}}}
+		if _, err := s.Record(spec); err == nil {
+			t.Errorf("Record accepted table name %q", name)
+		}
+	}
+	spec := RunSpec{Experiment: "demo", Tables: []SpecTable{
+		{Name: "dup", CSV: []byte("a\n")}, {Name: "dup", CSV: []byte("b\n")},
+	}}
+	if _, err := s.Record(spec); err == nil {
+		t.Errorf("Record accepted duplicate table names")
+	}
+}
+
+// newIDLockedForTest exposes id minting with the store's lock held, as
+// Record does.
+func (s *Store) newIDLockedForTest() (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.newIDLocked()
+}

@@ -1,0 +1,93 @@
+// ULID-style run identifiers: 48 bits of millisecond timestamp followed by
+// 80 bits of entropy, rendered as 26 characters of Crockford base32. The
+// encoding sorts lexicographically by creation time, so a plain string sort
+// of run directories is a chronological `list`, and ids stay safe as file
+// names (no separators, no case-folding collisions — the alphabet is upper-
+// case and excludes I, L, O, U).
+//
+// Generation is monotonic within a Store: two ids minted in the same
+// millisecond (or across a backwards clock step) share the clamped timestamp
+// and the entropy increments as an 80-bit counter, so later ids always sort
+// strictly after earlier ones.
+package registry
+
+import (
+	"crypto/rand"
+	"fmt"
+	"io"
+)
+
+// ulidLen is the canonical 26-character text length.
+const ulidLen = 26
+
+// ulidAlphabet is Crockford base32.
+const ulidAlphabet = "0123456789ABCDEFGHJKMNPQRSTVWXYZ"
+
+var ulidDecode = func() [256]bool {
+	var ok [256]bool
+	for i := 0; i < len(ulidAlphabet); i++ {
+		ok[ulidAlphabet[i]] = true
+	}
+	return ok
+}()
+
+// ValidID reports whether s is a well-formed run id. Load and List use it to
+// refuse path-traversal lookups and to tell stray directories from runs.
+func ValidID(s string) bool {
+	if len(s) != ulidLen {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if !ulidDecode[s[i]] {
+			return false
+		}
+	}
+	// 26 base32 chars hold 130 bits; the top 2 must be zero, which caps the
+	// first character at '7'.
+	return s[0] <= '7'
+}
+
+// newID mints the next monotonic id. Callers hold s.mu.
+func (s *Store) newIDLocked() (string, error) {
+	ms := uint64(s.now().UnixMilli()) & (1<<48 - 1)
+	switch {
+	case ms > s.lastMS:
+		s.lastMS = ms
+		if _, err := io.ReadFull(s.entropy, s.lastEnt[:]); err != nil {
+			return "", fmt.Errorf("registry: reading id entropy: %w", err)
+		}
+	default:
+		// Same millisecond, or the clock stepped back: reuse the last
+		// timestamp and bump the entropy so ordering stays strict.
+		for i := len(s.lastEnt) - 1; i >= 0; i-- {
+			s.lastEnt[i]++
+			if s.lastEnt[i] != 0 {
+				break
+			}
+			if i == 0 {
+				return "", fmt.Errorf("registry: id entropy overflow within one millisecond")
+			}
+		}
+	}
+	return encodeULID(s.lastMS, s.lastEnt), nil
+}
+
+// encodeULID renders the 128-bit (timestamp, entropy) pair as 26 characters.
+func encodeULID(ms uint64, ent [10]byte) string {
+	hi := ms<<16 | uint64(ent[0])<<8 | uint64(ent[1])
+	var lo uint64
+	for _, b := range ent[2:] {
+		lo = lo<<8 | uint64(b)
+	}
+	var out [ulidLen]byte
+	for i := ulidLen - 1; i >= 0; i-- {
+		out[i] = ulidAlphabet[lo&31]
+		lo = lo>>5 | hi<<59
+		hi >>= 5
+	}
+	return string(out[:])
+}
+
+// cryptoEntropy is the default entropy source; tests substitute a
+// deterministic reader.
+var cryptoEntropy io.Reader = rand.Reader
