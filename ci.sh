@@ -25,16 +25,22 @@
 #                    then diff each fresh run against the committed baseline
 #                    under internal/experiments/testdata/registry/ (exit 3
 #                    from `experiments diff` — any changed cell — fails CI)
+#   ./ci.sh -delta   additionally run the incremental-assessment suite under
+#                    -race (delta/full equivalence across dataset, bipartite,
+#                    core, recipe; the /v1/assess/delta and subscribe server
+#                    tests; the client Retry-After and SSE tests) plus the
+#                    riskd -selfcheck smoke, whose delta leg evolves a
+#                    release through a subscribe stream end to end
 #
 # riskvet is the repo's own analyzer suite (see internal/analysis and
-# DESIGN.md §10): ctxbudget, detrand, errcmp, floateq, retrysleep, plus the
-# //lint:allow suppression ledger, whose stale or unreasoned entries fail
-# the gate. It runs as a standalone binary rather than `go vet -vettool`
+# DESIGN.md §10): ctxbudget, detrand, errcmp, floateq, retrysleep,
+# streamticker, plus the //lint:allow suppression ledger, whose stale or
+# unreasoned entries fail the gate. It runs as a standalone binary rather than `go vet -vettool`
 # because the unitchecker protocol lives in golang.org/x/tools, which the
 # offline build cannot depend on.
 #
 # Flags combine in any order: ./ci.sh -short -bench -serve -lint -chaos
-# -registry. Exits non-zero on the first failure.
+# -registry -delta. Exits non-zero on the first failure.
 set -eu
 cd "$(dirname "$0")"
 
@@ -44,6 +50,7 @@ serve=""
 lint=""
 chaos=""
 registry=""
+delta=""
 for arg in "$@"; do
 	case "$arg" in
 	-short) short="-short" ;;
@@ -52,9 +59,10 @@ for arg in "$@"; do
 	-lint) lint="yes" ;;
 	-chaos) chaos="yes" ;;
 	-registry) registry="yes" ;;
+	-delta) delta="yes" ;;
 	*)
 		echo "ci.sh: unknown flag: $arg" >&2
-		echo "usage: ./ci.sh [-short] [-bench] [-serve] [-lint] [-chaos] [-registry]" >&2
+		echo "usage: ./ci.sh [-short] [-bench] [-serve] [-lint] [-chaos] [-registry] [-delta]" >&2
 		exit 2
 		;;
 	esac
@@ -202,6 +210,19 @@ if [ -n "$registry" ]; then
 	fi
 	rm -rf "$regdir" experiments_ci
 	trap - EXIT
+fi
+
+if [ -n "$delta" ]; then
+	echo "== incremental assessment suite (-race) =="
+	# The delta path's whole claim is bit-for-bit equivalence with a full
+	# rebuild, so this runs the equivalence proofs at every layer plus the
+	# serving/client protocol tests in one focused, race-enabled pass.
+	go test -race -count=1 \
+		-run 'Diff|Delta|Rebin|Subscribe|RetryAfter' \
+		./internal/dataset/ ./internal/bipartite/ ./internal/core/ \
+		./internal/recipe/ ./internal/server/ ./internal/riskclient/
+	echo "== riskd delta + subscribe smoke =="
+	go run ./cmd/riskd -selfcheck
 fi
 
 echo "ci: OK"

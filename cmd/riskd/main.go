@@ -11,7 +11,8 @@
 //	      [-fault-schedule s] [-fault-seed n]
 //	      [-selfcheck] [-selfcheck-chaos]
 //
-// Endpoints: POST /v1/assess, GET /healthz, GET /readyz, GET /debug/vars —
+// Endpoints: POST /v1/assess, POST /v1/assess/delta,
+// GET /v1/assess/subscribe, GET /healthz, GET /readyz, GET /debug/vars —
 // see internal/server. -timeout and -max-work carry the CLI budget
 // convention per request: an expiring budget first degrades the assessment
 // (the result reports Degraded and the tier that answered), and only when
@@ -27,8 +28,11 @@
 //
 // -selfcheck starts the service on an ephemeral localhost port, runs a
 // health probe and one assess round-trip twice — asserting the repeat is
-// served from cache — then shuts down cleanly; the exit status reports the
-// outcome. ci.sh -serve uses it as the serving smoke test.
+// served from cache — then evolves the release through /v1/assess/delta
+// while watching it on a /v1/assess/subscribe stream (the incremental
+// verdict must both answer the POST and arrive on the stream), and shuts
+// down cleanly; the exit status reports the outcome. ci.sh -serve and
+// ci.sh -delta use it as the serving smoke test.
 //
 // -selfcheck-chaos runs one seeded fault-injection scenario end to end
 // (internal/chaos): faults from -fault-schedule (default: the standard mix)
@@ -54,6 +58,7 @@ import (
 
 	"repro/internal/chaos"
 	"repro/internal/cliutil"
+	"repro/internal/riskclient"
 	"repro/internal/server"
 )
 
@@ -259,16 +264,63 @@ func runSelfcheck(cfg server.Config) error {
 		}
 		fmt.Printf("riskd: assess ok (method %q, cached repeat, key %s)\n", cold.Method, cold.Key[:12])
 
+		// Delta + subscribe smoke: watch the release on an SSE stream, evolve
+		// it by one sparse diff through /v1/assess/delta, and assert the
+		// fresh verdict both answers the POST and arrives on the stream.
+		rc, err := riskclient.New(riskclient.Config{BaseURL: base, HTTPClient: client})
+		if err != nil {
+			return err
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		sub, err := rc.Subscribe(ctx, cold.Digest, nil)
+		if err != nil {
+			return fmt.Errorf("subscribe: %w", err)
+		}
+		defer sub.Close()
+		initial, err := sub.Next()
+		if err != nil {
+			return fmt.Errorf("subscribe (initial verdict): %w", err)
+		}
+		if initial.Digest != cold.Digest {
+			return fmt.Errorf("initial stream verdict digest %s, want %s", initial.Digest, cold.Digest)
+		}
+		dres, err := rc.AssessDelta(ctx, &server.DeltaRequest{
+			BaseDigest: cold.Digest,
+			Diff:       server.DiffSpec{DTransactions: 1, Items: []int{0}, Deltas: []int{2}},
+		})
+		if err != nil {
+			return fmt.Errorf("assess delta: %w", err)
+		}
+		if !dres.Incremental || dres.Digest == cold.Digest {
+			return fmt.Errorf("delta: incremental=%v digest=%s (base %s)", dres.Incremental, dres.Digest, cold.Digest)
+		}
+		pushed, err := sub.Next()
+		if err != nil {
+			return fmt.Errorf("subscribe (pushed verdict): %w", err)
+		}
+		if pushed.Digest != dres.Digest || pushed.BaseDigest != cold.Digest {
+			return fmt.Errorf("pushed verdict chain %s->%s, want %s->%s",
+				pushed.BaseDigest, pushed.Digest, cold.Digest, dres.Digest)
+		}
+		fmt.Printf("riskd: delta ok (incremental verdict pushed to subscriber, digest %s)\n", dres.Digest[:12])
+
 		var vars struct {
 			Cache struct {
 				Hits int64 `json:"hits"`
 			} `json:"cache"`
+			Delta struct {
+				Incremental int64 `json:"incremental"`
+			} `json:"delta"`
 		}
 		if err := getJSON(client, base+"/debug/vars", &vars); err != nil {
 			return fmt.Errorf("debug/vars: %w", err)
 		}
 		if vars.Cache.Hits < 1 {
 			return fmt.Errorf("debug/vars reports %d cache hits, want >= 1", vars.Cache.Hits)
+		}
+		if vars.Delta.Incremental < 1 {
+			return fmt.Errorf("debug/vars reports %d incremental deltas, want >= 1", vars.Delta.Incremental)
 		}
 		return nil
 	}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/analysis/errcmp"
 	"repro/internal/analysis/floateq"
 	"repro/internal/analysis/retrysleep"
+	"repro/internal/analysis/streamticker"
 )
 
 // Analyzers is the full suite in reporting order.
@@ -21,6 +22,7 @@ var Analyzers = []*analysis.Analyzer{
 	errcmp.Analyzer,
 	floateq.Analyzer,
 	retrysleep.Analyzer,
+	streamticker.Analyzer,
 }
 
 // Names returns the analyzer names plus the driver's own "suppress" check,

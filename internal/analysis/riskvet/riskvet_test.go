@@ -27,6 +27,7 @@ func TestNames(t *testing.T) {
 	want := map[string]bool{
 		"suppress": true, "ctxbudget": true, "detrand": true,
 		"errcmp": true, "floateq": true, "retrysleep": true,
+		"streamticker": true,
 	}
 	got := Names()
 	if len(got) != len(want) {

@@ -1,0 +1,85 @@
+// Package streamticker bans time.After inside loops. Each time.After call
+// allocates a fresh timer that is only reclaimed when it fires: a select
+// that takes another arm abandons the timer, and in a long-lived stream
+// loop — an SSE handler pumping keep-alives, a subscriber draining a
+// channel — the abandoned timers pile up for their full duration at every
+// iteration. Under a short interval and a busy channel that is an unbounded
+// timer population, and even the well-behaved case burns an allocation per
+// loop turn where a single Ticker would serve the whole stream (see the
+// subscribe loop in internal/server, which this rule pins).
+//
+// The rule: time.After may not appear lexically inside a for/range
+// statement. The sanctioned replacements are
+//
+//   - time.NewTicker outside the loop, its C selected inside, for periodic
+//     work (keep-alives, polls), and
+//   - time.NewTimer with Reset, for per-iteration deadlines that genuinely
+//     differ, stopped when the loop exits.
+//
+// One-shot time.After outside a loop is fine — a single timeout arm is the
+// call's intended use.
+package streamticker
+
+import (
+	"go/ast"
+	"go/token"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the streamticker check.
+var Analyzer = &analysis.Analyzer{
+	Name: "streamticker",
+	Doc: "time.After inside a loop leaks one timer per iteration; hoist a time.NewTicker " +
+		"(or a reusable time.NewTimer with Reset) out of the loop",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		loops := collectLoops(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isTimeAfter(pass, call) {
+				return true
+			}
+			for _, l := range loops {
+				if l.pos <= call.Pos() && call.Pos() < l.end {
+					pass.Reportf(call.Pos(),
+						"time.After inside a loop leaks one timer per iteration; hoist a time.NewTicker (or a reusable time.NewTimer with Reset) out of the loop")
+					break
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+type loopSpan struct{ pos, end token.Pos }
+
+func collectLoops(f *ast.File) []loopSpan {
+	var spans []loopSpan
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			spans = append(spans, loopSpan{n.Pos(), n.End()})
+		}
+		return true
+	})
+	return spans
+}
+
+func isTimeAfter(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	// Resolve through the types info: only the real time.After counts, not
+	// a local function that happens to share the name.
+	fn := pass.TypesInfo.Uses[sel.Sel]
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	return fn.Pkg().Path() == "time" && fn.Name() == "After"
+}

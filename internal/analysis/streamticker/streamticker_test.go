@@ -1,0 +1,12 @@
+package streamticker
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestFixture(t *testing.T) {
+	analysistest.Run(t, "../testdata/src/streamtickertest", []*analysis.Analyzer{Analyzer}, nil)
+}

@@ -1,0 +1,100 @@
+// Package streamtickertest is the streamticker fixture: time.After in loops
+// must be flagged, hoisted tickers and one-shot timeouts left alone.
+package streamtickertest
+
+import (
+	"context"
+	"time"
+)
+
+// StreamLoop is the canonical offense: the SSE-pump shape where every
+// iteration allocates a keep-alive timer and the busy arms abandon it.
+func StreamLoop(events <-chan string, send func(string)) {
+	for {
+		select {
+		case ev, ok := <-events:
+			if !ok {
+				return
+			}
+			send(ev)
+		case <-time.After(15 * time.Second): // want `time\.After inside a loop`
+			send("keepalive")
+		}
+	}
+}
+
+// PollAfter is the other common shape: pacing a poll with a fresh timer.
+func PollAfter(ready func() bool) {
+	for !ready() {
+		<-time.After(10 * time.Millisecond) // want `time\.After inside a loop`
+	}
+}
+
+// RangeAfter paces per item — still one leaked timer per element.
+func RangeAfter(items []int, send func(int)) {
+	for _, it := range items {
+		send(it)
+		<-time.After(time.Millisecond) // want `time\.After inside a loop`
+	}
+}
+
+// NestedLiteral: the call sits in a func literal the loop invokes; lexical
+// containment still catches it.
+func NestedLiteral(n int, wait func(<-chan time.Time)) {
+	for i := 0; i < n; i++ {
+		func() {
+			wait(time.After(time.Millisecond)) // want `time\.After inside a loop`
+		}()
+	}
+}
+
+// OneShotTimeout is the call's intended use: a single timeout arm.
+func OneShotTimeout(done <-chan struct{}) bool {
+	select {
+	case <-done:
+		return true
+	case <-time.After(time.Second):
+		return false
+	}
+}
+
+// TickerStream is the sanctioned shape: one Ticker serves the whole stream.
+func TickerStream(ctx context.Context, events <-chan string, send func(string)) {
+	keep := time.NewTicker(15 * time.Second)
+	defer keep.Stop()
+	for {
+		select {
+		case ev, ok := <-events:
+			if !ok {
+				return
+			}
+			send(ev)
+		case <-keep.C:
+			send("keepalive")
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// ResetTimer is the sanctioned per-iteration-deadline shape.
+func ResetTimer(jobs <-chan func() time.Duration) {
+	t := time.NewTimer(time.Hour)
+	defer t.Stop()
+	for job := range jobs {
+		if !t.Stop() {
+			select {
+			case <-t.C:
+			default:
+			}
+		}
+		t.Reset(job())
+	}
+}
+
+// NamedAfter: a local function named After is not time.After.
+func NamedAfter(after func(time.Duration) <-chan time.Time) {
+	for i := 0; i < 3; i++ {
+		<-after(time.Millisecond)
+	}
+}

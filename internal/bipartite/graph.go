@@ -104,6 +104,12 @@ func Build(bf *belief.Function, gr *dataset.Grouping) (*Graph, error) {
 // Contains admits f ∈ [Lo−ε, Hi+ε] with both endpoints included, so the
 // upper search uses > (first index strictly beyond Hi+ε) rather than
 // SearchFloat64s' ≥, which would drop a frequency lying exactly at Hi+ε.
+//
+// The lower bound needs no such correction: SearchFloat64s returns the first
+// index with freqs[i] ≥ Lo−ε, which is exactly Contains' admission test
+// f ≥ Lo−ε — a frequency lying precisely at Lo−ε is the first covered index.
+// TestGroupRangeExactEpsilonBoundary and TestHasEdgeMatchesContainsExactLoEps
+// pin this with Nextafter-solved exact-boundary frequencies on both sides.
 func groupRange(freqs []float64, iv belief.Interval) (lo, hi int) {
 	lo = sort.SearchFloat64s(freqs, iv.Lo-belief.Epsilon)
 	hi = sort.Search(len(freqs), func(i int) bool { return freqs[i] > iv.Hi+belief.Epsilon }) - 1

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/belief"
+	"repro/internal/bipartite"
+	"repro/internal/dataset"
+)
+
+func randomDeltaDiff(rng *rand.Rand, ft *dataset.FrequencyTable) *dataset.CountsDiff {
+	d := &dataset.CountsDiff{}
+	if rng.Intn(2) == 0 {
+		d.DTransactions = 1 + rng.Intn(5)
+	}
+	newM := ft.NTransactions + d.DTransactions
+	k := 1 + rng.Intn(ft.NItems)
+	for x := 0; x < ft.NItems && len(d.Items) < k; x++ {
+		if rng.Intn(2) == 1 {
+			continue
+		}
+		c := rng.Intn(newM + 1)
+		if c == ft.Counts[x] {
+			c = (c + 1) % (newM + 1)
+		}
+		d.Items = append(d.Items, x)
+		d.Deltas = append(d.Deltas, c-ft.Counts[x])
+	}
+	return d
+}
+
+// TestOEDeltaMatchesFull is the O-estimate half of the delta-equivalence
+// property: across chains of random diffs, a restricted refresh over the
+// changed list bipartite.Rebin reports produces an OEResult bit-for-bit
+// identical — Value compared with ==, not a tolerance — to a full
+// OEstimateGraphCtx pass over the same patched graph.
+func TestOEDeltaMatchesFull(t *testing.T) {
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 250; trial++ {
+		n := 2 + rng.Intn(10)
+		m := 6 + rng.Intn(25)
+		counts := make([]int, n)
+		for i := range counts {
+			counts[i] = rng.Intn(m + 1)
+		}
+		ft, err := dataset.NewTable(m, counts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gr := dataset.GroupItems(ft)
+		deltaMed := gr.MedianGap()
+		bf := belief.UniformWidth(ft.Frequencies(), deltaMed)
+		g, err := bipartite.Build(bf, gr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oe, err := NewOEDeltaCtx(ctx, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		steps := 1 + rng.Intn(4)
+		for step := 0; step < steps; step++ {
+			d := randomDeltaDiff(rng, ft)
+			if err := ft.ApplyDiff(d); err != nil {
+				t.Fatalf("trial %d step %d: ApplyDiff: %v", trial, step, err)
+			}
+			postGr, rd, err := dataset.ApplyDiffGrouping(gr, ft, d)
+			if err != nil {
+				t.Fatalf("trial %d step %d: ApplyDiffGrouping: %v", trial, step, err)
+			}
+			postMed := postGr.MedianGap()
+			postBF := belief.UniformWidth(ft.Frequencies(), postMed)
+			changed, err := g.Rebin(postBF, bipartite.RebinUpdate{
+				Grouping:         postGr,
+				Delta:            rd,
+				ChangedIntervals: rd.Moved,
+				AllIntervals:     postMed != deltaMed || d.DTransactions != 0,
+			})
+			if err != nil {
+				t.Fatalf("trial %d step %d: Rebin: %v", trial, step, err)
+			}
+			got, err := oe.RefreshCtx(ctx, changed)
+			if err != nil {
+				t.Fatalf("trial %d step %d: RefreshCtx: %v", trial, step, err)
+			}
+			want, err := OEstimateGraphCtx(ctx, g, OEOptions{})
+			if err != nil {
+				t.Fatalf("trial %d step %d: OEstimateGraphCtx: %v", trial, step, err)
+			}
+			if got.Value != want.Value { // bit-exact, no tolerance
+				t.Fatalf("trial %d step %d: delta OE %v != full OE %v", trial, step, got.Value, want.Value)
+			}
+			if !reflect.DeepEqual(got.Outdeg, want.Outdeg) {
+				t.Fatalf("trial %d step %d: Outdeg diverged\n got %v\nwant %v", trial, step, got.Outdeg, want.Outdeg)
+			}
+			if !reflect.DeepEqual(got.Crackable, want.Crackable) {
+				t.Fatalf("trial %d step %d: Crackable diverged\n got %v\nwant %v", trial, step, got.Crackable, want.Crackable)
+			}
+			gr, deltaMed = postGr, postMed
+		}
+	}
+}
+
+func TestOEDeltaRejectsBadChangedList(t *testing.T) {
+	ctx := context.Background()
+	ft, err := dataset.NewTable(10, []int{2, 4, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := bipartite.Build(belief.Ignorant(3), dataset.GroupItems(ft))
+	if err != nil {
+		t.Fatal(err)
+	}
+	oe, err := NewOEDeltaCtx(ctx, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := oe.RefreshCtx(ctx, []int{2, 1}); err == nil {
+		t.Error("unsorted changed list: want error")
+	}
+	if _, err := oe.RefreshCtx(ctx, []int{3}); err == nil {
+		t.Error("out-of-range changed item: want error")
+	}
+	if _, err := oe.RefreshCtx(ctx, nil); err != nil {
+		t.Errorf("empty changed list should refresh cleanly: %v", err)
+	}
+}

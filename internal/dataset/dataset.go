@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // Item is a dense item identifier in [0, n).
@@ -130,6 +131,13 @@ type FrequencyTable struct {
 	NItems        int
 	NTransactions int
 	Counts        []int // len NItems; Counts[x] in [0, NTransactions]
+
+	// digest memoizes Digest(). The server shares one table across many
+	// concurrent requests, so the memo is an atomic pointer rather than a
+	// plain field; ApplyDiff stores nil to invalidate it. Mutating Counts or
+	// NTransactions directly (nothing outside this package does) would leave
+	// a stale memo — go through ApplyDiff.
+	digest atomic.Pointer[string]
 }
 
 // Table extracts the FrequencyTable of the database.

@@ -12,7 +12,14 @@ import (
 // identically — the paper's estimates depend on the data only through the
 // support-count view, so the digest is the natural cache key for repeated
 // assessments of one release (see internal/riskcache).
+//
+// The digest is memoized; ApplyDiff invalidates the memo, so the value
+// returned here always reflects the current counts. The delta tests pin
+// Digest(apply(diff)) == Digest(rebuild) to keep the memo honest.
 func (ft *FrequencyTable) Digest() string {
+	if d := ft.digest.Load(); d != nil {
+		return *d
+	}
 	h := sha256.New()
 	var buf [8]byte
 	binary.LittleEndian.PutUint64(buf[:], uint64(ft.NTransactions))
@@ -23,5 +30,7 @@ func (ft *FrequencyTable) Digest() string {
 		binary.LittleEndian.PutUint64(buf[:], uint64(c))
 		h.Write(buf[:])
 	}
-	return hex.EncodeToString(h.Sum(nil))
+	d := hex.EncodeToString(h.Sum(nil))
+	ft.digest.Store(&d)
+	return d
 }

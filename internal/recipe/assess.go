@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/belief"
+	"repro/internal/bipartite"
 	"repro/internal/budget"
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -141,9 +142,44 @@ func AssessRiskCtx(ctx context.Context, ft *dataset.FrequencyTable, opts Options
 	if err != nil {
 		return nil, err
 	}
-	n := ft.NItems
-	crackBudget := opts.Tolerance * float64(n)
 	gr := dataset.GroupItems(ft)
+	// The δ_med belief function and its consistency graph are built once,
+	// lazily, and shared between the step-6 O-estimate and the step-8 α
+	// search — Build is deterministic, so reusing the graph is bit-identical
+	// to the historical rebuild-per-evaluation and removes the dominant
+	// per-evaluation cost of the binary search.
+	var (
+		bf *belief.Function
+		g  *bipartite.Graph
+	)
+	oeFull := func(ctx context.Context) (float64, error) {
+		bf = belief.UniformWidth(ft.Frequencies(), gr.MedianGap())
+		var err error
+		if g, err = bipartite.Build(bf, gr); err != nil {
+			return 0, err
+		}
+		oe, err := core.OEstimateGraphCtx(ctx, g, core.OEOptions{Propagate: opts.Propagate})
+		if err != nil {
+			return 0, err
+		}
+		return oe.Value, nil
+	}
+	search := func(context.Context) (*AlphaSearch, error) {
+		return newAlphaSearchGraph(ft, g, opts.Runs, opts.Propagate, false, opts.Rng)
+	}
+	return assessStaged(ctx, ft.NItems, opts, gr, oeFull, search)
+}
+
+// assessStaged is the staged decision logic of Figure 8, shared verbatim by
+// the full path (AssessRiskCtx) and the incremental path (DeltaSession) so
+// the two can never drift: the expensive stages arrive as lazy evaluators
+// and everything else — short circuits, degradation, provenance — lives
+// here once. oeFull is only called when steps 1-2 do not settle the verdict,
+// and search only when step 7 does not.
+func assessStaged(ctx context.Context, n int, opts Options, gr *dataset.Grouping,
+	oeFull func(context.Context) (float64, error),
+	search func(context.Context) (*AlphaSearch, error)) (*Result, error) {
+	crackBudget := opts.Tolerance * float64(n)
 	res := &Result{
 		Items:     n,
 		Groups:    gr.NumGroups(),
@@ -168,12 +204,11 @@ func AssessRiskCtx(ctx context.Context, ft *dataset.FrequencyTable, opts Options
 
 	// Steps 3-6: compliant interval belief function with width δ_med.
 	res.DeltaMed = gr.MedianGap()
-	bf := belief.UniformWidth(ft.Frequencies(), res.DeltaMed)
-	oe, err := core.OEstimateCtx(ctx, bf, ft, core.OEOptions{Propagate: opts.Propagate})
+	v, err := oeFull(ctx)
 	if err != nil {
 		return nil, err
 	}
-	res.OEFull = oe.Value
+	res.OEFull = v
 
 	// Step 7.
 	if res.OEFull <= crackBudget {
@@ -186,12 +221,12 @@ func AssessRiskCtx(ctx context.Context, ft *dataset.FrequencyTable, opts Options
 	// item order; the compliant set at level α is the order's first ⌈αn⌉
 	// items, so the sets are nested across α exactly as Lemma 10's
 	// monotonicity requires (Section 6.2).
-	search, err := NewAlphaSearch(ft, bf, opts.Runs, opts.Propagate, opts.Rng)
+	s, err := search(ctx)
 	if err != nil {
 		return nil, err
 	}
 	res.Stage = StageAlphaSearch
-	res.AlphaMax, err = search.MaxAlphaWithinCtx(ctx, crackBudget, opts.AlphaPrecision)
+	res.AlphaMax, err = s.MaxAlphaWithinCtx(ctx, crackBudget, opts.AlphaPrecision)
 	if budget.Degradable(err) {
 		res.Degraded = true
 		res.DegradedReason = err.Error()
@@ -207,8 +242,8 @@ func AssessRiskCtx(ctx context.Context, ft *dataset.FrequencyTable, opts Options
 // sweep of Figure 11.
 type AlphaSearch struct {
 	ft        *dataset.FrequencyTable
-	bf        *belief.Function
-	orders    [][]int // one item order per run; level α keeps the first ⌈αn⌉
+	g         *bipartite.Graph // δ_med consistency graph, shared by all evaluations
+	orders    [][]int          // one item order per run; level α keeps the first ⌈αn⌉
 	propagate bool
 }
 
@@ -235,14 +270,31 @@ func newAlphaSearch(ft *dataset.FrequencyTable, bf *belief.Function, runs int, p
 	if bf.Items() != ft.NItems {
 		return nil, fmt.Errorf("recipe: belief domain %d != table domain %d", bf.Items(), ft.NItems)
 	}
+	g, err := bipartite.Build(bf, dataset.GroupItems(ft))
+	if err != nil {
+		return nil, err
+	}
+	return newAlphaSearchGraph(ft, g, runs, propagate, biased, rng)
+}
+
+// newAlphaSearchGraph builds the search over a prebuilt consistency graph —
+// the graph the caller computed for the step-6 O-estimate, or the patched
+// graph a DeltaSession maintains. Every evaluation reads the graph instead
+// of rebuilding grouping and graph per (α, run) pair; since Build is a pure
+// function of (belief, grouping), the values are bit-identical to the
+// rebuild-per-evaluation path.
+func newAlphaSearchGraph(ft *dataset.FrequencyTable, g *bipartite.Graph, runs int, propagate, biased bool, rng *rand.Rand) (*AlphaSearch, error) {
+	if g.Items() != ft.NItems {
+		return nil, fmt.Errorf("recipe: graph domain %d != table domain %d", g.Items(), ft.NItems)
+	}
 	if runs <= 0 {
 		runs = 5
 	}
-	s := &AlphaSearch{ft: ft, bf: bf, propagate: propagate}
+	s := &AlphaSearch{ft: ft, g: g, propagate: propagate}
 	n := ft.NItems
 	var contrib []float64
 	if biased {
-		oe, err := core.OEstimate(bf, ft, core.OEOptions{})
+		oe, err := core.OEstimateGraph(g, core.OEOptions{})
 		if err != nil {
 			return nil, err
 		}
@@ -331,7 +383,7 @@ func (s *AlphaSearch) oeOne(ctx context.Context, alpha float64, order []int, mas
 	for _, x := range order[:k] {
 		mask[x] = true
 	}
-	oe, err := core.OEstimateCtx(ctx, s.bf, s.ft, core.OEOptions{Mask: mask, Propagate: s.propagate})
+	oe, err := core.OEstimateGraphCtx(ctx, s.g, core.OEOptions{Mask: mask, Propagate: s.propagate})
 	for _, x := range order[:k] {
 		mask[x] = false
 	}

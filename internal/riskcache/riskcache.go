@@ -150,6 +150,17 @@ func (c *Cache[V]) Get(key string) (V, bool) {
 	return zero, false
 }
 
+// Put stores val under key unconditionally, marking it most recently used
+// and evicting the oldest entry on overflow. It is the registration path for
+// values that arrive outside a computation — e.g. the delta endpoint's
+// base-table registry, where the table IS the content rather than something
+// computed from it.
+func (c *Cache[V]) Put(key string, val V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.add(key, val)
+}
+
 // GetOrCompute returns the value for key, computing it at most once across
 // concurrent callers:
 //

@@ -253,13 +253,38 @@ func Backoff(rng *rand.Rand, attempt int, base, max time.Duration) time.Duration
 // a final non-retryable failure returns *HTTPError; breaker rejections
 // return ErrCircuitOpen.
 func (c *Client) Assess(ctx context.Context, req *server.AssessRequest) (*server.AssessResponse, error) {
+	var out server.AssessResponse
+	if err := c.do(ctx, "/v1/assess", "assess", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// AssessDelta submits an incremental assessment for an evolved release: the
+// base table's digest (from a previous response) plus a sparse counts diff.
+// Retry, breaker, and idempotency semantics match Assess — a delta is the
+// same pure function of its request, just cheaper for the server. A 404
+// means the server no longer holds the base table; the caller falls back to
+// a full Assess with the evolved counts.
+func (c *Client) AssessDelta(ctx context.Context, req *server.DeltaRequest) (*server.DeltaResponse, error) {
+	var out server.DeltaResponse
+	if err := c.do(ctx, "/v1/assess/delta", "assess-delta", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// do runs the shared retry/breaker loop for one POST endpoint, decoding a
+// 2xx body into out.
+func (c *Client) do(ctx context.Context, path, kind string, req any, out any) error {
 	body, err := json.Marshal(req)
 	if err != nil {
-		return nil, fmt.Errorf("riskclient: encoding request: %w", err)
+		return fmt.Errorf("riskclient: encoding request: %w", err)
 	}
 	// Content-derived idempotency key: identical across retries, identical
-	// across clients sending the same logical request.
-	idemKey := riskcache.Key("assess", string(body))
+	// across clients sending the same logical request. kind keeps the assess
+	// and delta keyspaces disjoint even for byte-identical bodies.
+	idemKey := riskcache.Key(kind, string(body))
 
 	c.mu.Lock()
 	c.calls++
@@ -269,7 +294,7 @@ func (c *Client) Assess(ctx context.Context, req *server.AssessRequest) (*server
 	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
 		if err := ctx.Err(); err != nil {
 			c.recordCallFailure()
-			return nil, err
+			return err
 		}
 		probe, err := c.allow()
 		if err != nil {
@@ -277,21 +302,21 @@ func (c *Client) Assess(ctx context.Context, req *server.AssessRequest) (*server
 			c.shorted++
 			c.failures++
 			c.mu.Unlock()
-			return nil, err
+			return err
 		}
 
-		resp, retryable, err := c.attempt(ctx, body, idemKey)
+		retryable, err := c.attempt(ctx, path, body, idemKey, out)
 		c.settle(probe, err == nil || isClientError(err))
 		if err == nil {
 			c.mu.Lock()
 			c.successes++
 			c.mu.Unlock()
-			return resp, nil
+			return nil
 		}
 		lastErr = err
 		if !retryable {
 			c.recordCallFailure()
-			return nil, err
+			return err
 		}
 		if attempt == c.cfg.MaxAttempts-1 {
 			break
@@ -299,14 +324,14 @@ func (c *Client) Assess(ctx context.Context, req *server.AssessRequest) (*server
 		delay := c.nextDelay(attempt, err)
 		if err := c.cfg.Sleep(ctx, delay); err != nil {
 			c.recordCallFailure()
-			return nil, err
+			return err
 		}
 		c.mu.Lock()
 		c.retries++
 		c.mu.Unlock()
 	}
 	c.recordCallFailure()
-	return nil, fmt.Errorf("riskclient: %d attempts exhausted: %w", c.cfg.MaxAttempts, lastErr)
+	return fmt.Errorf("riskclient: %d attempts exhausted: %w", c.cfg.MaxAttempts, lastErr)
 }
 
 // Ready probes GET /readyz. nil means the server is accepting work; an
@@ -328,43 +353,73 @@ func (c *Client) Ready(ctx context.Context) error {
 	return nil
 }
 
-// attempt performs one HTTP try. retryable classifies the failure; client
-// errors (4xx) and decode failures are final.
-func (c *Client) attempt(ctx context.Context, body []byte, idemKey string) (resp *server.AssessResponse, retryable bool, err error) {
+// attempt performs one HTTP try against path, decoding a 2xx into out.
+// retryable classifies the failure; client errors (4xx) and decode failures
+// are final.
+func (c *Client) attempt(ctx context.Context, path string, body []byte, idemKey string, out any) (retryable bool, err error) {
 	c.mu.Lock()
 	c.attempts++
 	c.mu.Unlock()
 
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/assess", bytes.NewReader(body))
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
 	if err != nil {
-		return nil, false, err
+		return false, err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
 	hreq.Header.Set("Idempotency-Key", idemKey)
 
 	hresp, err := c.cfg.HTTPClient.Do(hreq)
 	if err != nil {
-		return nil, true, err // transport-level: the peer may be back next try
+		return true, err // transport-level: the peer may be back next try
 	}
 	defer hresp.Body.Close()
 	raw, err := io.ReadAll(io.LimitReader(hresp.Body, 32<<20))
 	if err != nil {
-		return nil, true, err
+		return true, err
 	}
 	if hresp.StatusCode/100 == 2 {
-		var out server.AssessResponse
-		if err := json.Unmarshal(raw, &out); err != nil {
-			return nil, false, fmt.Errorf("riskclient: decoding response: %w", err)
+		if err := json.Unmarshal(raw, out); err != nil {
+			return false, fmt.Errorf("riskclient: decoding response: %w", err)
 		}
-		return &out, false, nil
+		return false, nil
 	}
-	herr := &HTTPError{Status: hresp.StatusCode, Body: string(raw)}
-	if ra, raErr := strconv.Atoi(strings.TrimSpace(hresp.Header.Get("Retry-After"))); raErr == nil && ra > 0 {
-		herr.RetryAfter = ra
+	herr := &HTTPError{
+		Status:     hresp.StatusCode,
+		Body:       string(raw),
+		RetryAfter: parseRetryAfter(hresp.Header.Get("Retry-After"), c.cfg.Now()),
 	}
 	// 5xx (including 503 + Retry-After) is the server struggling: retry.
 	// 4xx is this request being wrong: final.
-	return nil, hresp.StatusCode >= 500, herr
+	return hresp.StatusCode >= 500, herr
+}
+
+// parseRetryAfter reads a Retry-After header value in either form RFC 9110
+// §10.2.3 allows: a non-negative integer delay in seconds, or an HTTP-date
+// (riskd sends delta-seconds; proxies and other servers may rewrite it to a
+// date). A date is converted to whole seconds from now, rounded up so a
+// 500ms hint still waits rather than retrying immediately. Returns 0 —
+// meaning "no usable hint, use the backoff schedule" — for absent values,
+// garbage, and dates in the past.
+func parseRetryAfter(h string, now time.Time) int {
+	h = strings.TrimSpace(h)
+	if h == "" {
+		return 0
+	}
+	if sec, err := strconv.Atoi(h); err == nil {
+		if sec > 0 {
+			return sec
+		}
+		return 0
+	}
+	when, err := http.ParseTime(h)
+	if err != nil {
+		return 0
+	}
+	until := when.Sub(now)
+	if until <= 0 {
+		return 0
+	}
+	return int((until + time.Second - 1) / time.Second)
 }
 
 // nextDelay picks the wait before the next attempt: the server's Retry-After

@@ -1,0 +1,494 @@
+// Incremental assessment over the wire: POST /v1/assess/delta takes a base
+// table digest plus a sparse counts diff and answers with a full verdict for
+// the evolved release; GET /v1/assess/subscribe holds an SSE stream open and
+// pushes every fresh verdict for the digests it watches.
+//
+// The delta path composes three invariants proved lower in the stack:
+//
+//   - recipe.DeltaSession's equivalence property: a verdict computed by
+//     patching (ApplyDiffGrouping + bipartite.Rebin + core.OEDelta) is
+//     byte-identical to AssessRiskCtx on a freshly built table with the same
+//     counts, options, and seed.
+//   - dataset.ApplyDiff's digest refresh: the applied table's digest equals
+//     the digest of a table built from scratch with the post-diff counts.
+//   - riskcache content addressing: the delta request's cache key is
+//     riskcache.Key(appliedDigest, "", options) — the SAME key a plain
+//     /v1/assess with the evolved counts would use. A verdict computed
+//     through the delta path therefore hits for full requests and vice
+//     versa; the cache cannot tell the two paths apart, because there is
+//     nothing to tell apart.
+//
+// Sessions are pooled between requests keyed by (current digest, options):
+// a client chaining diffs release after release keeps hitting the same warm
+// session, and each hop costs the patch, not the rebuild. A pool miss falls
+// back to building a session from the registered base table — still
+// incremental for the diff itself. Sessions are checked out exclusively, so
+// concurrent deltas against one base each get their own (the losers build
+// fresh ones); broken sessions are dropped, never pooled.
+//
+// Subscribe streams are deliberately NOT counted in inflightJobs: they are
+// long-lived by design, and counting them would deadlock DrainWait. Instead
+// BeginDrain closes drainCh — strictly after flipping readiness, so /readyz
+// answers 503 before any stream learns about the shutdown — and every stream
+// writes a terminal "shutdown" event and exits.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/recipe"
+	"repro/internal/riskcache"
+)
+
+// DeltaRequest is the POST /v1/assess/delta body. Delta assessment is
+// recipe-mode only: the owner's Assess-Risk decision is the thing that gets
+// re-run release after release; attack-mode estimates take a belief spec and
+// go through POST /v1/assess.
+type DeltaRequest struct {
+	// BaseDigest names the table the diff applies to. It must be registered
+	// — returned as "digest" by a previous /v1/assess or /v1/assess/delta
+	// response — or the request fails 404 and the client falls back to a
+	// full POST /v1/assess.
+	BaseDigest string   `json:"base_digest"`
+	Diff       DiffSpec `json:"diff"`
+
+	Tau       *float64 `json:"tau,omitempty"`     // default 0.1
+	Runs      int      `json:"runs,omitempty"`    // default 5
+	Seed      *int64   `json:"seed,omitempty"`    // default 1
+	Comfort   float64  `json:"comfort,omitempty"` // default 0.5
+	Propagate *bool    `json:"propagate,omitempty"`
+
+	// TimeoutMS optionally lowers (never raises) the server's per-request
+	// budget for this request.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// DiffSpec mirrors dataset.CountsDiff on the wire.
+type DiffSpec struct {
+	DTransactions int   `json:"dtransactions,omitempty"`
+	Items         []int `json:"items"`
+	Deltas        []int `json:"deltas"`
+}
+
+// DeltaResponse is the POST /v1/assess/delta reply and the SSE "verdict"
+// event payload. Digest (promoted from AssessResponse) is the evolved
+// table's digest — the base_digest for the next diff in the chain.
+type DeltaResponse struct {
+	AssessResponse
+	BaseDigest string `json:"base_digest,omitempty"`
+	// Incremental: the verdict came from a session patch rather than a full
+	// rebuild. Provenance only — the bytes are identical either way.
+	Incremental bool `json:"incremental,omitempty"`
+}
+
+// applyOptionParams fills the recipe option defaults shared by /v1/assess,
+// /v1/assess/delta, and /v1/assess/subscribe, so the three endpoints cannot
+// drift apart and compute different cache keys for the same request.
+func applyOptionParams(job *Job, tau *float64, runs int, seed *int64, comfort float64, propagate *bool) {
+	job.Tau, job.Runs, job.Seed, job.Comfort, job.Propagate = 0.1, 5, 1, 0.5, true
+	if tau != nil {
+		job.Tau = *tau
+	}
+	if runs > 0 {
+		job.Runs = runs
+	}
+	if seed != nil {
+		job.Seed = *seed
+	}
+	if comfort > 0 {
+		job.Comfort = comfort
+	}
+	if propagate != nil {
+		job.Propagate = *propagate
+	}
+}
+
+// deltaJob builds the recipe-mode Job for an applied table. The key is
+// computed exactly as parseJob computes it for a belief-less request, so a
+// delta verdict content-addresses identically to the full-path verdict for
+// the same counts and options.
+func deltaJob(ft *dataset.FrequencyTable, req *DeltaRequest) (*Job, error) {
+	job := &Job{Table: ft}
+	applyOptionParams(job, req.Tau, req.Runs, req.Seed, req.Comfort, req.Propagate)
+	if job.Tau <= 0 || job.Tau >= 1 {
+		return nil, fmt.Errorf("server: tau %v outside (0,1)", job.Tau)
+	}
+	job.Key = riskcache.Key(ft.Digest(), "", canonicalOptions(job))
+	return job, nil
+}
+
+// sessionKey addresses the warm-session pool: the session is reusable only
+// for requests over the same table state with the same options (the seed is
+// part of canonicalOptions, and the session's rng stream is seed-derived).
+func sessionKey(digest string, job *Job) string {
+	return riskcache.Key("session", digest, canonicalOptions(job))
+}
+
+func (s *Server) takeSession(key string) *recipe.DeltaSession {
+	s.sessMu.Lock()
+	defer s.sessMu.Unlock()
+	if sess, ok := s.sessions[key]; ok {
+		delete(s.sessions, key)
+		return sess
+	}
+	return nil
+}
+
+func (s *Server) putSession(key string, sess *recipe.DeltaSession) {
+	if sess == nil || sess.Broken() || s.cfg.SessionEntries < 0 {
+		return
+	}
+	s.sessMu.Lock()
+	defer s.sessMu.Unlock()
+	if len(s.sessions) >= s.cfg.SessionEntries {
+		// Bounded pool, arbitrary victim: sessions are a pure performance
+		// cache (any miss rebuilds from the table registry), so eviction
+		// order does not affect correctness.
+		for k := range s.sessions {
+			delete(s.sessions, k)
+			break
+		}
+	}
+	s.sessions[key] = sess
+}
+
+func (s *Server) sessionCount() int {
+	s.sessMu.Lock()
+	defer s.sessMu.Unlock()
+	return len(s.sessions)
+}
+
+func (s *Server) handleAssessDelta(w http.ResponseWriter, r *http.Request) {
+	startReq := time.Now()
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var req DeltaRequest
+	if err := dec.Decode(&req); err != nil {
+		s.badInput.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	if req.BaseDigest == "" {
+		s.badInput.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "server: base_digest is required"})
+		return
+	}
+	base, ok := s.tables.Get(req.BaseDigest)
+	if !ok {
+		s.deltaBaseMiss.Add(1)
+		writeJSON(w, http.StatusNotFound, errorResponse{
+			Error: "server: base digest unknown (evicted or never seen); POST the full table to /v1/assess and retry",
+		})
+		return
+	}
+	d := &dataset.CountsDiff{DTransactions: req.Diff.DTransactions, Items: req.Diff.Items, Deltas: req.Diff.Deltas}
+	applied := base.Clone()
+	if err := applied.ApplyDiff(d); err != nil {
+		s.badInput.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	job, err := deltaJob(applied, &req)
+	if err != nil {
+		s.badInput.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	s.requests.Add(1)
+	s.deltaRequests.Add(1)
+	s.inflightJobs.Add(1)
+	defer s.inflightJobs.Add(-1)
+
+	// The evolved table becomes the next base candidate immediately — even
+	// if this assessment then degrades or throttles, the registry entry lets
+	// the client retry the chain without re-uploading.
+	digest := applied.Digest()
+	s.tables.Put(digest, applied)
+
+	timeout := s.requestTimeout(req.TimeoutMS)
+	// incremental is written only by the compute closure, which GetOrCompute
+	// runs synchronously on this goroutine (leaders compute; followers and
+	// hits never touch it).
+	incremental := false
+	outcome, src, err := s.cache.GetOrCompute(r.Context(), job.Key, func() (*Outcome, bool, error) {
+		return s.runCompute(timeout, func(ctx context.Context) (*Outcome, error) {
+			return s.deltaAssess(ctx, base, job, d, &incremental)
+		})
+	})
+	if err != nil {
+		s.writeComputeError(w, err)
+		return
+	}
+	if src == riskcache.Computed {
+		if incremental {
+			s.deltaIncremental.Add(1)
+		} else {
+			s.deltaFull.Add(1)
+		}
+	}
+	if outcome.Degraded {
+		s.degraded.Add(1)
+	}
+	s.completedJobs.Add(1)
+	resp := DeltaResponse{
+		AssessResponse: AssessResponse{
+			Cached:    src == riskcache.Hit,
+			Coalesced: src == riskcache.Coalesced,
+			Key:       job.Key,
+			Digest:    digest,
+			ElapsedMS: float64(time.Since(startReq)) / float64(time.Millisecond),
+			Outcome:   outcome,
+		},
+		BaseDigest:  req.BaseDigest,
+		Incremental: incremental,
+	}
+	if src == riskcache.Computed {
+		s.broadcast(req.BaseDigest, &resp)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// deltaAssess computes the evolved verdict, preferring a warm session patch
+// over a full rebuild. Sets *incremental when the session path ran.
+func (s *Server) deltaAssess(ctx context.Context, base *dataset.FrequencyTable, job *Job, d *dataset.CountsDiff, incremental *bool) (*Outcome, error) {
+	if !s.realPipeline {
+		// Injected stand-in (tests): job.Table already holds the applied
+		// counts, so the stand-in sees exactly what the full path would.
+		return s.cfg.AssessFn(ctx, job)
+	}
+	if inj := s.cfg.Injector; inj != nil {
+		if err := inj.Apply(ctx, "compute"); err != nil {
+			return nil, err
+		}
+	}
+	sess := s.takeSession(sessionKey(base.Digest(), job))
+	if sess == nil {
+		var err error
+		sess, err = recipe.NewDeltaSessionCtx(ctx, base, job.Seed, recipe.Options{
+			Tolerance:    job.Tau,
+			Runs:         job.Runs,
+			Propagate:    job.Propagate,
+			AlphaComfort: job.Comfort,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	res, err := sess.ApplyDiffCtx(ctx, d)
+	if err != nil {
+		// An assessment error after a clean patch leaves the session
+		// consistent but advanced: pool it under its CURRENT digest so a
+		// retry of the evolved state finds it warm. putSession drops broken
+		// sessions itself.
+		if !sess.Broken() {
+			s.putSession(sessionKey(sess.Digest(), job), sess)
+		}
+		return nil, err
+	}
+	*incremental = true
+	s.putSession(sessionKey(sess.Digest(), job), sess)
+	return recipeOutcome(res), nil
+}
+
+// subscriber is one live SSE stream. digests — the set of table states whose
+// fresh verdicts this stream wants — is guarded by Server.subMu and grows as
+// watched tables evolve: a delta against a watched digest extends the watch
+// to the evolved digest, so one subscription follows a whole release chain.
+type subscriber struct {
+	digests map[string]bool
+	ch      chan *DeltaResponse
+}
+
+// broadcast fans a freshly computed verdict out to every stream watching its
+// digest (or the base it evolved from). Sends never block: a stream that
+// cannot keep up loses events (counted in subscribe.dropped), it does not
+// back-pressure the assessment path.
+func (s *Server) broadcast(baseDigest string, resp *DeltaResponse) {
+	s.subMu.Lock()
+	defer s.subMu.Unlock()
+	for sub := range s.subs {
+		if !sub.digests[resp.Digest] && (baseDigest == "" || !sub.digests[baseDigest]) {
+			continue
+		}
+		sub.digests[resp.Digest] = true
+		select {
+		case sub.ch <- resp:
+			s.subEvents.Add(1)
+		default:
+			s.subDropped.Add(1)
+		}
+	}
+}
+
+func (s *Server) addSub(sub *subscriber) {
+	s.subMu.Lock()
+	s.subs[sub] = struct{}{}
+	s.subMu.Unlock()
+	s.subActive.Add(1)
+}
+
+func (s *Server) removeSub(sub *subscriber) {
+	s.subMu.Lock()
+	delete(s.subs, sub)
+	s.subMu.Unlock()
+	s.subActive.Add(-1)
+}
+
+// writeSSE emits one Server-Sent Event with a JSON payload.
+func writeSSE(w io.Writer, event string, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, b)
+}
+
+func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server: draining"})
+		return
+	}
+	q := r.URL.Query()
+	digest := q.Get("digest")
+	if digest == "" {
+		s.badInput.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "server: digest query parameter is required"})
+		return
+	}
+	ft, ok := s.tables.Get(digest)
+	if !ok {
+		s.deltaBaseMiss.Add(1)
+		writeJSON(w, http.StatusNotFound, errorResponse{
+			Error: "server: digest unknown (evicted or never seen); POST the full table to /v1/assess and retry",
+		})
+		return
+	}
+	req := &DeltaRequest{BaseDigest: digest}
+	if err := parseSubscribeParams(q, req); err != nil {
+		s.badInput.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	job, err := deltaJob(ft, req)
+	if err != nil {
+		s.badInput.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		s.failures.Add(1)
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: "server: streaming unsupported"})
+		return
+	}
+
+	// The initial verdict goes through the shared cache BEFORE the upgrade
+	// to SSE, so errors can still be reported as plain HTTP statuses and a
+	// warm cache costs the stream nothing. The stream itself is not counted
+	// in inflightJobs — subscribe connections are long-lived by design and
+	// drain via drainCh, not DrainWait.
+	outcome, src, err := s.cache.GetOrCompute(r.Context(), job.Key, func() (*Outcome, bool, error) {
+		return s.runCompute(s.requestTimeout(0), func(ctx context.Context) (*Outcome, error) {
+			return s.cfg.AssessFn(ctx, job)
+		})
+	})
+	if err != nil {
+		s.writeComputeError(w, err)
+		return
+	}
+
+	sub := &subscriber{digests: map[string]bool{digest: true}, ch: make(chan *DeltaResponse, 8)}
+	s.addSub(sub)
+	defer s.removeSub(sub)
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	writeSSE(w, "verdict", &DeltaResponse{AssessResponse: AssessResponse{
+		Cached:    src == riskcache.Hit,
+		Coalesced: src == riskcache.Coalesced,
+		Key:       job.Key,
+		Digest:    digest,
+		Outcome:   outcome,
+	}})
+	flusher.Flush()
+
+	// Ticker, not time.After: a per-iteration time.After leaks its timer
+	// until it fires, which on a long-lived stream is an unbounded pile of
+	// pending timers (riskvet's streamticker rule pins this).
+	keep := time.NewTicker(s.cfg.KeepAlive)
+	defer keep.Stop()
+	for {
+		select {
+		case resp := <-sub.ch:
+			writeSSE(w, "verdict", resp)
+			flusher.Flush()
+		case <-keep.C:
+			fmt.Fprint(w, ": keepalive\n\n")
+			flusher.Flush()
+		case <-s.drainCh:
+			// draining flipped before drainCh closed (BeginDrain's ordering
+			// contract), so readiness is already 503 when clients see this.
+			writeSSE(w, "shutdown", map[string]string{"reason": "draining"})
+			flusher.Flush()
+			return
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// parseSubscribeParams reads the recipe options from the subscribe query
+// string; the names match the JSON fields of AssessRequest/DeltaRequest.
+func parseSubscribeParams(q map[string][]string, req *DeltaRequest) error {
+	get := func(name string) string {
+		if vs := q[name]; len(vs) > 0 {
+			return vs[0]
+		}
+		return ""
+	}
+	if v := get("tau"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return fmt.Errorf("server: bad tau %q: %w", v, err)
+		}
+		req.Tau = &f
+	}
+	if v := get("runs"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return fmt.Errorf("server: bad runs %q: %w", v, err)
+		}
+		req.Runs = n
+	}
+	if v := get("seed"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return fmt.Errorf("server: bad seed %q: %w", v, err)
+		}
+		req.Seed = &n
+	}
+	if v := get("comfort"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return fmt.Errorf("server: bad comfort %q: %w", v, err)
+		}
+		req.Comfort = f
+	}
+	if v := get("propagate"); v != "" {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			return fmt.Errorf("server: bad propagate %q: %w", v, err)
+		}
+		req.Propagate = &b
+	}
+	return nil
+}

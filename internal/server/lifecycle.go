@@ -48,10 +48,17 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
 }
 
-// BeginDrain flips readiness to 503. Requests already accepted — and any
-// that still arrive on open connections — are served normally; only the
-// advertised willingness to take new traffic changes. Idempotent.
-func (s *Server) BeginDrain() { s.draining.Store(true) }
+// BeginDrain flips readiness to 503 and tells every subscribe stream to
+// close with its terminal event. Requests already accepted — and any that
+// still arrive on open connections — are served normally; only the
+// advertised willingness to take new traffic changes. The ordering is part
+// of the contract: draining flips BEFORE drainCh closes, so by the time any
+// stream sees the shutdown event, /readyz already answers 503 and load
+// balancers have stopped sending reconnects here. Idempotent.
+func (s *Server) BeginDrain() {
+	s.draining.Store(true)
+	s.drainOnce.Do(func() { close(s.drainCh) })
+}
 
 // Draining reports whether BeginDrain has been called.
 func (s *Server) Draining() bool { return s.draining.Load() }

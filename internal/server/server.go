@@ -8,10 +8,15 @@
 //
 // Endpoints:
 //
-//	POST /v1/assess   belief spec + dataset reference → assessment result
-//	                  with Method/Degraded/Cached provenance
-//	GET  /healthz     liveness
-//	GET  /debug/vars  cache and request counters, JSON
+//	POST /v1/assess           belief spec + dataset reference → assessment
+//	                          result with Method/Degraded/Cached provenance
+//	POST /v1/assess/delta     base table digest + sparse counts diff → full
+//	                          verdict for the evolved release (delta.go)
+//	GET  /v1/assess/subscribe SSE stream of fresh verdicts for a digest
+//	                          chain (delta.go)
+//	GET  /healthz             liveness
+//	GET  /readyz              readiness (503 once draining)
+//	GET  /debug/vars          cache and request counters, JSON
 //
 // Nothing here re-implements risk math. A request is parsed into the same
 // frequency-table + belief-function values the CLIs build, then dispatched
@@ -82,6 +87,17 @@ type Config struct {
 	CacheEntries int
 	// MaxBodyBytes bounds a request body. Zero means 32 MiB.
 	MaxBodyBytes int64
+	// TableEntries bounds the base-table registry that /v1/assess/delta and
+	// /v1/assess/subscribe resolve digests against. Zero means 64; negative
+	// means unbounded.
+	TableEntries int
+	// SessionEntries bounds the pool of warm recipe.DeltaSessions kept
+	// between delta requests. Zero means 16; negative disables pooling (every
+	// delta builds a fresh session — still correct, just slower).
+	SessionEntries int
+	// KeepAlive is the SSE keep-alive comment period on subscribe streams.
+	// Zero means 15s.
+	KeepAlive time.Duration
 	// AssessFn computes an outcome from a parsed job. Nil means the real
 	// pipeline (recipe / attack cascade); tests inject counting or blocking
 	// stand-ins to observe cache and single-flight behavior.
@@ -195,8 +211,12 @@ type AssessResponse struct {
 	// Cached: served straight from the LRU, no computation ran.
 	Cached bool `json:"cached"`
 	// Coalesced: joined an identical in-flight computation.
-	Coalesced bool    `json:"coalesced,omitempty"`
-	Key       string  `json:"key"`
+	Coalesced bool   `json:"coalesced,omitempty"`
+	Key       string `json:"key"`
+	// Digest is the content digest of the assessed table — the handle a
+	// client passes back as base_digest to /v1/assess/delta or digest to
+	// /v1/assess/subscribe.
+	Digest    string  `json:"digest,omitempty"`
 	ElapsedMS float64 `json:"elapsed_ms"`
 	*Outcome
 }
@@ -213,6 +233,40 @@ type Server struct {
 	sem   chan struct{}
 	base  context.Context
 	start time.Time
+	// realPipeline: no AssessFn was injected, so recipe-mode deltas may run
+	// through the warm-session incremental path (which bypasses AssessFn).
+	realPipeline bool
+
+	// tables is the digest-addressed registry of frequency tables seen by
+	// /v1/assess and /v1/assess/delta; delta requests resolve base_digest
+	// against it and subscribe streams resolve their watch digest. Registered
+	// tables are never mutated (ApplyDiff always runs on a clone).
+	tables *riskcache.Cache[*dataset.FrequencyTable]
+
+	// Warm delta-session pool, keyed by (table digest, recipe options).
+	// Checkout is exclusive: takeSession removes the entry, putSession
+	// re-inserts it under the session's post-diff digest.
+	sessMu   sync.Mutex
+	sessions map[string]*recipe.DeltaSession
+
+	// Subscribe hub: live SSE streams, each watching a growing set of table
+	// digests. Guarded by subMu.
+	subMu sync.Mutex
+	subs  map[*subscriber]struct{}
+
+	// drainCh is closed by BeginDrain — strictly after draining flips, so a
+	// stream that observes the close is guaranteed /readyz already answers
+	// 503 — and tells every subscribe stream to send its terminal event.
+	drainCh   chan struct{}
+	drainOnce sync.Once
+
+	deltaRequests    atomic.Int64 // delta requests accepted past parsing
+	deltaBaseMiss    atomic.Int64 // 404s: base digest not in the registry
+	deltaIncremental atomic.Int64 // deltas served through a session patch
+	deltaFull        atomic.Int64 // deltas that fell back to a full assessment
+	subActive        atomic.Int64 // subscribe streams currently open
+	subEvents        atomic.Int64 // verdict events delivered to streams
+	subDropped       atomic.Int64 // verdict events dropped on full stream buffers
 
 	requests  atomic.Int64 // assess requests accepted past parsing
 	badInput  atomic.Int64 // 4xx on parse/validation
@@ -261,13 +315,30 @@ func New(cfg Config) *Server {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 32 << 20
 	}
-	s := &Server{
-		cfg:   cfg,
-		cache: riskcache.New[*Outcome](cfg.CacheEntries),
-		sem:   make(chan struct{}, cfg.MaxInflight),
-		base:  parallel.WithWorkers(context.Background(), cfg.Workers),
-		start: time.Now(),
+	switch {
+	case cfg.TableEntries == 0:
+		cfg.TableEntries = 64
+	case cfg.TableEntries < 0:
+		cfg.TableEntries = 0 // riskcache: unbounded
 	}
+	if cfg.SessionEntries == 0 {
+		cfg.SessionEntries = 16
+	}
+	if cfg.KeepAlive <= 0 {
+		cfg.KeepAlive = 15 * time.Second
+	}
+	s := &Server{
+		cfg:      cfg,
+		cache:    riskcache.New[*Outcome](cfg.CacheEntries),
+		sem:      make(chan struct{}, cfg.MaxInflight),
+		base:     parallel.WithWorkers(context.Background(), cfg.Workers),
+		start:    time.Now(),
+		tables:   riskcache.New[*dataset.FrequencyTable](cfg.TableEntries),
+		sessions: make(map[string]*recipe.DeltaSession),
+		subs:     make(map[*subscriber]struct{}),
+		drainCh:  make(chan struct{}),
+	}
+	s.realPipeline = s.cfg.AssessFn == nil
 	if s.cfg.AssessFn == nil {
 		s.cfg.AssessFn = defaultAssess
 	}
@@ -290,6 +361,8 @@ func New(cfg Config) *Server {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/assess", s.handleAssess)
+	mux.HandleFunc("POST /v1/assess/delta", s.handleAssessDelta)
+	mux.HandleFunc("GET /v1/assess/subscribe", s.handleSubscribe)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /debug/vars", s.handleVars)
@@ -308,17 +381,30 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleVars(w http.ResponseWriter, _ *http.Request) {
 	vars := map[string]any{
-		"uptime_s":        time.Since(s.start).Seconds(),
-		"gomaxprocs":      runtime.GOMAXPROCS(0),
-		"workers":         s.cfg.Workers,
-		"max_inflight":    s.cfg.MaxInflight,
-		"inflight":        len(s.sem),
-		"requests":        s.requests.Load(),
-		"bad_input":       s.badInput.Load(),
-		"failures":        s.failures.Load(),
-		"throttled":       s.throttled.Load(),
-		"degraded":        s.degraded.Load(),
-		"cache":           s.cache.Stats(),
+		"uptime_s":     time.Since(s.start).Seconds(),
+		"gomaxprocs":   runtime.GOMAXPROCS(0),
+		"workers":      s.cfg.Workers,
+		"max_inflight": s.cfg.MaxInflight,
+		"inflight":     len(s.sem),
+		"requests":     s.requests.Load(),
+		"bad_input":    s.badInput.Load(),
+		"failures":     s.failures.Load(),
+		"throttled":    s.throttled.Load(),
+		"degraded":     s.degraded.Load(),
+		"cache":        s.cache.Stats(),
+		"tables":       s.tables.Stats(),
+		"delta": map[string]any{
+			"requests":    s.deltaRequests.Load(),
+			"base_miss":   s.deltaBaseMiss.Load(),
+			"incremental": s.deltaIncremental.Load(),
+			"full":        s.deltaFull.Load(),
+			"sessions":    s.sessionCount(),
+		},
+		"subscribe": map[string]any{
+			"active":  s.subActive.Load(),
+			"events":  s.subEvents.Load(),
+			"dropped": s.subDropped.Load(),
+		},
 		"ready":           !s.draining.Load(),
 		"inflight_jobs":   s.inflightJobs.Load(),
 		"completed_jobs":  s.completedJobs.Load(),
@@ -361,64 +447,96 @@ func (s *Server) handleAssess(w http.ResponseWriter, r *http.Request) {
 	s.inflightJobs.Add(1)
 	defer s.inflightJobs.Add(-1)
 
-	timeout := s.cfg.Timeout
-	if req.TimeoutMS > 0 {
-		if t := time.Duration(req.TimeoutMS) * time.Millisecond; timeout == 0 || t < timeout {
-			timeout = t
-		}
-	}
+	// Every table seen by a full assessment becomes a delta base candidate.
+	digest := job.Table.Digest()
+	s.tables.Put(digest, job.Table)
+
+	timeout := s.requestTimeout(req.TimeoutMS)
 
 	// The computation runs under the server's base context — not the HTTP
 	// request's — so a disconnecting leader cannot kill a result that
 	// coalesced followers are waiting on. The request context only bounds
 	// this caller's wait on someone else's in-flight computation.
 	outcome, src, err := s.cache.GetOrCompute(r.Context(), job.Key, func() (*Outcome, bool, error) {
-		ctx, cancel := cliutil.RequestContext(s.base, timeout, s.cfg.MaxOps)
-		defer cancel()
-		// The inflight cap is the global backpressure valve: waiting for a
-		// slot spends the request's own deadline, so under sustained
-		// overload queued requests degrade to 503 + Retry-After instead of
-		// piling up without bound.
-		select {
-		case s.sem <- struct{}{}:
-			defer func() { <-s.sem }()
-		case <-ctx.Done():
-			return nil, false, budget.WrapContextErr(ctx.Err())
-		}
-		computeStart := time.Now()
-		o, err := s.cfg.AssessFn(ctx, job)
-		if err != nil {
-			return nil, false, err
-		}
-		s.observeLatency(time.Since(computeStart))
-		return o, !o.Degraded, nil
+		return s.runCompute(timeout, func(ctx context.Context) (*Outcome, error) {
+			return s.cfg.AssessFn(ctx, job)
+		})
 	})
 	if err != nil {
-		if budget.IsBudgetError(err) {
-			s.throttled.Add(1)
-			retry := s.retryAfterSeconds()
-			w.Header().Set("Retry-After", strconv.Itoa(retry))
-			writeJSON(w, http.StatusServiceUnavailable, errorResponse{
-				Error:      "work budget exhausted before any tier could complete: " + err.Error(),
-				RetryAfter: retry,
-			})
-			return
-		}
-		s.failures.Add(1)
-		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		s.writeComputeError(w, err)
 		return
 	}
 	if outcome.Degraded {
 		s.degraded.Add(1)
 	}
 	s.completedJobs.Add(1)
-	writeJSON(w, http.StatusOK, AssessResponse{
+	resp := AssessResponse{
 		Cached:    src == riskcache.Hit,
 		Coalesced: src == riskcache.Coalesced,
 		Key:       job.Key,
+		Digest:    digest,
 		ElapsedMS: float64(time.Since(startReq)) / float64(time.Millisecond),
 		Outcome:   outcome,
-	})
+	}
+	if src == riskcache.Computed {
+		s.broadcast("", &DeltaResponse{AssessResponse: resp})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// requestTimeout lowers (never raises) the configured budget by a client's
+// timeout_ms.
+func (s *Server) requestTimeout(timeoutMS int64) time.Duration {
+	timeout := s.cfg.Timeout
+	if timeoutMS > 0 {
+		if t := time.Duration(timeoutMS) * time.Millisecond; timeout == 0 || t < timeout {
+			timeout = t
+		}
+	}
+	return timeout
+}
+
+// runCompute is the shared compute harness for assess and delta: it binds the
+// work to the server's base context with the request budget, takes an
+// inflight slot, and folds a successful computation's latency into the
+// Retry-After EWMA. The inflight cap is the global backpressure valve:
+// waiting for a slot spends the request's own deadline, so under sustained
+// overload queued requests degrade to 503 + Retry-After instead of piling up
+// without bound.
+func (s *Server) runCompute(timeout time.Duration, do func(ctx context.Context) (*Outcome, error)) (*Outcome, bool, error) {
+	ctx, cancel := cliutil.RequestContext(s.base, timeout, s.cfg.MaxOps)
+	defer cancel()
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	case <-ctx.Done():
+		return nil, false, budget.WrapContextErr(ctx.Err())
+	}
+	computeStart := time.Now()
+	o, err := do(ctx)
+	if err != nil {
+		return nil, false, err
+	}
+	s.observeLatency(time.Since(computeStart))
+	return o, !o.Degraded, nil
+}
+
+// writeComputeError maps a computation error to the wire: budget exhaustion
+// below the O(n log n) floor is a throttle (503 + adaptive Retry-After),
+// anything else a 500.
+func (s *Server) writeComputeError(w http.ResponseWriter, err error) {
+	if budget.IsBudgetError(err) {
+		s.throttled.Add(1)
+		retry := s.retryAfterSeconds()
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{
+			Error:      "work budget exhausted before any tier could complete: " + err.Error(),
+			RetryAfter: retry,
+		})
+		return
+	}
+	s.failures.Add(1)
+	writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
 }
 
 // parseJob validates a request into a Job and derives its cache key. The
@@ -428,31 +546,8 @@ func (s *Server) parseJob(req *AssessRequest) (*Job, int, error) {
 	if err != nil {
 		return nil, status, err
 	}
-	job := &Job{
-		Table:     ft,
-		Tau:       0.1,
-		Runs:      5,
-		Seed:      1,
-		Comfort:   0.5,
-		Propagate: true,
-		Exact:     req.Exact,
-		Simulate:  req.Simulate,
-	}
-	if req.Tau != nil {
-		job.Tau = *req.Tau
-	}
-	if req.Runs > 0 {
-		job.Runs = req.Runs
-	}
-	if req.Seed != nil {
-		job.Seed = *req.Seed
-	}
-	if req.Comfort > 0 {
-		job.Comfort = req.Comfort
-	}
-	if req.Propagate != nil {
-		job.Propagate = *req.Propagate
-	}
+	job := &Job{Table: ft, Exact: req.Exact, Simulate: req.Simulate}
+	applyOptionParams(job, req.Tau, req.Runs, req.Seed, req.Comfort, req.Propagate)
 	if req.Belief != "" {
 		bf, err := belief.Parse(strings.NewReader(req.Belief), ft.NItems)
 		if err != nil {
@@ -573,6 +668,14 @@ func defaultAssess(ctx context.Context, job *Job) (*Outcome, error) {
 	if err != nil {
 		return nil, err
 	}
+	return recipeOutcome(res), nil
+}
+
+// recipeOutcome maps a recipe.Result to the wire outcome. Shared by the full
+// path (defaultAssess) and the delta-session path, so the two produce
+// identical outcomes for identical results — which they do: the session's
+// equivalence property guarantees byte-identical Results.
+func recipeOutcome(res *recipe.Result) *Outcome {
 	return &Outcome{
 		Mode:           "recipe",
 		Method:         res.Stage.String(),
@@ -590,7 +693,7 @@ func defaultAssess(ctx context.Context, job *Job) (*Outcome, error) {
 			WallMS:    float64(res.Wall) / float64(time.Millisecond),
 			CPUMS:     float64(res.CPU) / float64(time.Millisecond),
 		},
-	}, nil
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
