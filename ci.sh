@@ -31,16 +31,22 @@
 #                    tests; the client Retry-After and SSE tests) plus the
 #                    riskd -selfcheck smoke, whose delta leg evolves a
 #                    release through a subscribe stream end to end
+#   ./ci.sh -escape-update  regenerate the kernel escape-analysis baseline
+#                    (internal/analysis/escapegate/baseline.txt) before
+#                    gating, for use after a deliberate allocation change
 #
 # riskvet is the repo's own analyzer suite (see internal/analysis and
-# DESIGN.md §10): ctxbudget, detrand, errcmp, floateq, retrysleep,
-# streamticker, plus the //lint:allow suppression ledger, whose stale or
-# unreasoned entries fail the gate. It runs as a standalone binary rather than `go vet -vettool`
+# DESIGN.md §10/§15): cachetaint, ctxbudget, detrand, errcmp, floateq,
+# loopbudget, maporder, retrysleep, streamticker, plus the //lint:allow
+# suppression ledger, whose stale or unreasoned entries fail the gate. It
+# runs as a standalone binary rather than `go vet -vettool`
 # because the unitchecker protocol lives in golang.org/x/tools, which the
-# offline build cannot depend on.
+# offline build cannot depend on. riskvet -escape is the static
+# escape-analysis gate: kernel heap escapes must match the committed
+# baseline, in both directions (new escapes and stale entries both fail).
 #
 # Flags combine in any order: ./ci.sh -short -bench -serve -lint -chaos
-# -registry -delta. Exits non-zero on the first failure.
+# -registry -delta -escape-update. Exits non-zero on the first failure.
 set -eu
 cd "$(dirname "$0")"
 
@@ -51,6 +57,7 @@ lint=""
 chaos=""
 registry=""
 delta=""
+escape_update=""
 for arg in "$@"; do
 	case "$arg" in
 	-short) short="-short" ;;
@@ -60,9 +67,10 @@ for arg in "$@"; do
 	-chaos) chaos="yes" ;;
 	-registry) registry="yes" ;;
 	-delta) delta="yes" ;;
+	-escape-update) escape_update="yes" ;;
 	*)
 		echo "ci.sh: unknown flag: $arg" >&2
-		echo "usage: ./ci.sh [-short] [-bench] [-serve] [-lint] [-chaos] [-registry] [-delta]" >&2
+		echo "usage: ./ci.sh [-short] [-bench] [-serve] [-lint] [-chaos] [-registry] [-delta] [-escape-update]" >&2
 		exit 2
 		;;
 	esac
@@ -74,6 +82,12 @@ go vet ./...
 echo "== riskvet =="
 go build -o riskvet ./cmd/riskvet
 ./riskvet ./...
+
+echo "== escape gate (kernel heap escapes vs committed baseline) =="
+if [ -n "$escape_update" ]; then
+	./riskvet -escape-update
+fi
+./riskvet -escape
 rm -f riskvet
 
 echo "== go build =="

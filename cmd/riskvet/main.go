@@ -1,52 +1,130 @@
-// Command riskvet runs the repo's analyzer suite (ctxbudget, detrand,
-// errcmp, floateq — see internal/analysis) over the given package patterns
-// and exits non-zero when any unsuppressed diagnostic remains. ci.sh builds
-// it and runs it as part of the default gate:
+// Command riskvet runs the repo's analyzer suite (cachetaint, ctxbudget,
+// detrand, errcmp, floateq, loopbudget, maporder, retrysleep,
+// streamticker — see internal/analysis) over the given package patterns
+// and exits non-zero when any unsuppressed diagnostic remains. ci.sh
+// builds it and runs it as part of the default gate:
 //
 //	go build -o riskvet ./cmd/riskvet
 //	./riskvet ./...
+//	./riskvet -escape
 //
-// Output format matches go vet: file:line:col: [check] message. Findings
-// are suppressed with an inline or preceding-line comment
+// Output format matches go vet: file:line:col: [check] message. With
+// -json, findings are emitted to stdout as a JSON array of
+// {file, line, col, analyzer, message} objects instead, for tooling.
+// Findings are suppressed with an inline or preceding-line comment
 //
 //	//lint:allow <check> <reason>
 //
 // where the reason is mandatory and a suppression that stops matching
 // anything ("stale") is itself an error, so the allow ledger stays honest.
+//
+// -escape runs the static escape-analysis gate instead of the analyzer
+// suite: it compiles the kernel packages with -gcflags=-m and diffs the
+// escape diagnostics against the committed baseline
+// (internal/analysis/escapegate/baseline.txt); new escapes AND stale
+// baseline entries both fail. -escape-update regenerates the baseline
+// after a deliberate change.
+//
+// Exit codes:
+//
+//	0  no findings; the gate passes
+//	1  findings remain, or the escape gate diff is non-empty
+//	2  operational error (load/typecheck failure, compile failure,
+//	   unreadable baseline, bad flags)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/escapegate"
 	"repro/internal/analysis/riskvet"
 )
 
+// finding is the -json output shape, one object per diagnostic.
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as JSON on stdout instead of vet-style text on stderr")
+	escape := flag.Bool("escape", false, "run the kernel escape-analysis gate instead of the analyzer suite")
+	escapeUpdate := flag.Bool("escape-update", false, "regenerate the escape-gate baseline from a fresh compile")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: riskvet [packages]\n\nchecks:\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: riskvet [-json] [packages]\n       riskvet -escape | -escape-update\n\nchecks:\n")
 		for _, a := range riskvet.Analyzers {
-			fmt.Fprintf(flag.CommandLine.Output(), "  %-10s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-12s %s\n", a.Name, a.Doc)
 		}
+		fmt.Fprintf(flag.CommandLine.Output(), "  %-12s %s\n", "escapegate",
+			"kernel heap escapes must match the committed baseline (-escape)")
 	}
 	flag.Parse()
-	patterns := flag.Args()
-	if len(patterns) == 0 {
-		patterns = []string{"./..."}
-	}
 
-	diags, fset, err := riskvet.Check(".", patterns...)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "riskvet:", err)
-		os.Exit(2)
-	}
-	for _, d := range diags {
-		fmt.Fprintln(os.Stderr, analysis.Format(fset, d))
-	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "riskvet: %d finding(s)\n", len(diags))
-		os.Exit(1)
+	switch {
+	case *escapeUpdate:
+		if err := escapegate.Update("."); err != nil {
+			fmt.Fprintln(os.Stderr, "riskvet:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintln(os.Stderr, "riskvet: wrote", escapegate.BaselinePath)
+	case *escape:
+		problems, err := escapegate.Check(".")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "riskvet:", err)
+			os.Exit(2)
+		}
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, "riskvet: escapegate:", p)
+		}
+		if len(problems) > 0 {
+			fmt.Fprintf(os.Stderr, "riskvet: escape gate: %d problem(s)\n", len(problems))
+			os.Exit(1)
+		}
+	default:
+		patterns := flag.Args()
+		if len(patterns) == 0 {
+			patterns = []string{"./..."}
+		}
+		diags, fset, err := riskvet.Check(".", patterns...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "riskvet:", err)
+			os.Exit(2)
+		}
+		if *jsonOut {
+			findings := make([]finding, 0, len(diags))
+			for _, d := range diags {
+				pos := fset.Position(d.Pos)
+				findings = append(findings, finding{
+					File:     pos.Filename,
+					Line:     pos.Line,
+					Col:      pos.Column,
+					Analyzer: d.Check,
+					Message:  d.Message,
+				})
+			}
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(findings); err != nil {
+				fmt.Fprintln(os.Stderr, "riskvet:", err)
+				os.Exit(2)
+			}
+		} else {
+			for _, d := range diags {
+				fmt.Fprintln(os.Stderr, analysis.Format(fset, d))
+			}
+		}
+		if len(diags) > 0 {
+			if !*jsonOut {
+				fmt.Fprintf(os.Stderr, "riskvet: %d finding(s)\n", len(diags))
+			}
+			os.Exit(1)
+		}
 	}
 }

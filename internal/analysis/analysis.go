@@ -5,11 +5,14 @@
 // The repo's correctness story rests on conventions that the compiler cannot
 // see — every hot path threads a context+budget, Monte-Carlo code draws only
 // from seeded SplitMix64 streams, float comparisons on frequencies go
-// through the eps helpers, and budget sentinels are matched with errors.Is.
-// The analyzers under internal/analysis/... (ctxbudget, detrand, floateq,
-// errcmp) encode those conventions as mechanical checks; cmd/riskvet runs
-// them as part of ci.sh so a new subsystem cannot silently regress the
-// guarantees the O-estimate experiments depend on.
+// through the eps helpers, budget sentinels are matched with errors.Is, and
+// degraded verdicts never reach the cache or its snapshots. The analyzers
+// under internal/analysis/... encode those conventions as mechanical checks;
+// cmd/riskvet runs them as part of ci.sh so a new subsystem cannot silently
+// regress the guarantees the O-estimate experiments depend on. Cross-package
+// invariants ride on the fact layer (see Fact): the driver analyzes packages
+// in dependency order and an analyzer's facts flow from a package to its
+// dependents.
 //
 // The API shapes (Analyzer, Pass, Diagnostic) match x/tools so the checks
 // can migrate to the real framework verbatim if the dependency ever becomes
@@ -35,6 +38,11 @@ type Analyzer struct {
 	// Run applies the check to one package and reports findings through
 	// pass.Report. It must not retain the pass after returning.
 	Run func(pass *Pass) error
+	// FactTypes lists the fact types (as pointer values, e.g.
+	// []Fact{new(isGate)}) this analyzer may export; exporting an unlisted
+	// type is a programming error. Analyzers with no FactTypes cannot
+	// export facts.
+	FactTypes []Fact
 }
 
 // A Pass presents one package to an Analyzer.
@@ -46,6 +54,8 @@ type Pass struct {
 	TypesInfo *types.Info
 
 	report func(Diagnostic)
+	facts  *factStore      // shared across one driver Run; nil outside Run
+	deps   map[string]bool // transitive imports of Pkg, for fact visibility
 }
 
 // A Diagnostic is one finding at a position.

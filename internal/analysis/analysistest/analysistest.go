@@ -46,7 +46,18 @@ var tokenRe = regexp.MustCompile("^\\s*(\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`)")
 // legally reference (analyzer names are added automatically by the driver).
 func Run(t *testing.T, dir string, analyzers []*analysis.Analyzer, known []string) {
 	t.Helper()
-	pkgs, err := analysis.Load(dir, ".")
+	RunPatterns(t, dir, []string{"."}, analyzers, known)
+}
+
+// RunPatterns is Run for fixtures spanning several packages: it loads every
+// pattern relative to dir (e.g. "." plus "../fixturedep") and checks want
+// comments across all of them. The loader returns the packages in
+// dependency order, so facts exported by an analyzer on one fixture package
+// are importable in fixtures that import it — the cross-package analyzers'
+// tests depend on exactly that.
+func RunPatterns(t *testing.T, dir string, patterns []string, analyzers []*analysis.Analyzer, known []string) {
+	t.Helper()
+	pkgs, err := analysis.Load(dir, patterns...)
 	if err != nil {
 		t.Fatalf("loading fixture %s: %v", dir, err)
 	}

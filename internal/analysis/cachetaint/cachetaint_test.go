@@ -1,0 +1,18 @@
+package cachetaint_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/cachetaint"
+)
+
+// TestCachetaint loads the dependent fixture together with its dependency
+// so the dep's carrier/gate facts are exported first and imported across
+// the package boundary, exactly as the driver runs the real tree.
+func TestCachetaint(t *testing.T) {
+	analysistest.RunPatterns(t, "../testdata/src/cachetainttest",
+		[]string{".", "../cachetaintdep"},
+		[]*analysis.Analyzer{cachetaint.Analyzer}, nil)
+}

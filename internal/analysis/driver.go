@@ -12,6 +12,12 @@ import (
 // sorted by position and are exactly the findings a clean tree must not
 // have.
 //
+// Packages are processed in the order given, which Load guarantees is
+// dependency order (every package after its imports); one fact store is
+// shared by the whole call, so facts an analyzer exports while running on a
+// package are visible to the same analyzer's passes over dependent
+// packages — and to later checks within the same pass.
+//
 // Suppression semantics: an allow comment suppresses same-named diagnostics
 // on its own line or the next line; unknown check names, missing reasons,
 // and allows that suppress nothing are themselves diagnostics, so the
@@ -24,6 +30,7 @@ func Run(pkgs []*Package, analyzersFor func(importPath string) []*Analyzer, allK
 	for _, name := range allKnown {
 		known[name] = true
 	}
+	facts := newFactStore()
 	var all []Diagnostic
 	for _, pkg := range pkgs {
 		analyzers := analyzersFor(pkg.ImportPath)
@@ -35,6 +42,8 @@ func Run(pkgs []*Package, analyzersFor func(importPath string) []*Analyzer, allK
 				Files:     pkg.Files,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.Info,
+				facts:     facts,
+				deps:      pkg.Deps,
 			}
 			pass.report = func(d Diagnostic) { diags = append(diags, d) }
 			if err := a.Run(pass); err != nil {

@@ -1,0 +1,121 @@
+package analysis_test
+
+import (
+	"go/types"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+type objMark struct{ Label string }
+
+func (*objMark) AFact() {}
+
+type pkgMark struct{ N int }
+
+func (*pkgMark) AFact() {}
+
+// TestFactPropagation drives the whole fact pipeline: a probe analyzer
+// exports object facts (plain func + receiver-qualified method) and a
+// package fact while analyzing the factdep fixture, then imports them while
+// analyzing factuse, whose references to factdep's objects come from export
+// data rather than source. It also pins the two driver guarantees the
+// analyzers rely on: packages are processed in dependency order regardless
+// of pattern order, and facts are invisible from packages that do not
+// depend on the exporter.
+func TestFactPropagation(t *testing.T) {
+	probe := &analysis.Analyzer{
+		Name:      "factprobe",
+		Doc:       "test probe: exports facts in factdep, imports them in factuse",
+		FactTypes: []analysis.Fact{new(objMark), new(pkgMark)},
+		Run: func(pass *analysis.Pass) error {
+			switch {
+			case strings.HasSuffix(pass.Pkg.Path(), "factdep"):
+				provide := pass.Pkg.Scope().Lookup("Provide")
+				pass.ExportObjectFact(provide, &objMark{Label: "provide"})
+				helper := pass.Pkg.Scope().Lookup("Helper").(*types.TypeName)
+				do, _, _ := types.LookupFieldOrMethod(helper.Type(), true, pass.Pkg, "Do")
+				pass.ExportObjectFact(do, &objMark{Label: "helper-do"})
+				pass.ExportPackageFact(&pkgMark{N: 42})
+				var m objMark
+				if pass.ImportObjectFact(provide, &m) {
+					pass.Reportf(provide.Pos(), "local fact %s", m.Label)
+				}
+				// factuse depends on us, not the other way round: its
+				// facts (none exist yet anyway) must be invisible.
+				var pm pkgMark
+				if pass.ImportPackageFact(pass.Pkg.Path()+"x", &pm) {
+					pass.Reportf(provide.Pos(), "BUG: fact from unknown package")
+				}
+			case strings.HasSuffix(pass.Pkg.Path(), "factuse"):
+				for _, imp := range pass.Pkg.Imports() {
+					if !strings.HasSuffix(imp.Path(), "factdep") {
+						continue
+					}
+					pos := pass.Files[0].Name.Pos()
+					provide := imp.Scope().Lookup("Provide")
+					var m objMark
+					if pass.ImportObjectFact(provide, &m) {
+						pass.Reportf(pos, "dep fact %s", m.Label)
+					}
+					helper := imp.Scope().Lookup("Helper").(*types.TypeName)
+					do, _, _ := types.LookupFieldOrMethod(helper.Type(), true, pass.Pkg, "Do")
+					var mm objMark
+					if pass.ImportObjectFact(do, &mm) {
+						pass.Reportf(pos, "dep fact %s", mm.Label)
+					}
+					var pm pkgMark
+					if pass.ImportPackageFact(imp.Path(), &pm) {
+						pass.Reportf(pos, "dep pkgfact %d", pm.N)
+					}
+				}
+				// A fact from a package factuse does not import must not
+				// resolve, even though it is in the store.
+				var pm pkgMark
+				if pass.ImportPackageFact("repro/internal/matching", &pm) {
+					pass.Reportf(pass.Files[0].Name.Pos(), "BUG: fact from non-dependency")
+				}
+			}
+			return nil
+		},
+	}
+
+	// Patterns deliberately name the dependent before the dependency: the
+	// loader must still yield factdep first.
+	pkgs, err := analysis.Load(".", "./testdata/src/factuse", "./testdata/src/factdep")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("loaded %d packages, want 2", len(pkgs))
+	}
+	if !strings.HasSuffix(pkgs[0].ImportPath, "factdep") || !strings.HasSuffix(pkgs[1].ImportPath, "factuse") {
+		t.Fatalf("packages not in dependency order: %s, %s", pkgs[0].ImportPath, pkgs[1].ImportPath)
+	}
+	if !pkgs[1].Deps[pkgs[0].ImportPath] {
+		t.Fatalf("factuse's Deps set does not contain factdep")
+	}
+
+	diags, err := analysis.Run(pkgs, func(string) []*analysis.Analyzer { return []*analysis.Analyzer{probe} }, nil)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var got []string
+	for _, d := range diags {
+		got = append(got, d.Message)
+	}
+	want := []string{"local fact provide", "dep fact provide", "dep fact helper-do", "dep pkgfact 42"}
+	if len(got) != len(want) {
+		t.Fatalf("diagnostics = %q, want %q", got, want)
+	}
+	seen := map[string]bool{}
+	for _, g := range got {
+		seen[g] = true
+	}
+	for _, w := range want {
+		if !seen[w] {
+			t.Errorf("missing diagnostic %q in %q", w, got)
+		}
+	}
+}

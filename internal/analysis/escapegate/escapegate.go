@@ -1,0 +1,352 @@
+// Package escapegate is a static escape-analysis gate for the numeric
+// kernels. It runs the compiler's own escape analysis (go build
+// -gcflags=-m) over the kernel packages, attributes every "escapes to
+// heap" / "moved to heap" diagnostic to its enclosing function, and diffs
+// the result against a committed baseline. A new escape — a value that
+// used to stay on the stack and now does not — fails the gate before a
+// profiler has to find it; a stale baseline entry (an escape that no
+// longer happens) also fails, so the baseline never rots into an
+// allow-everything list. Regenerate with riskvet -escape-update after a
+// deliberate change.
+//
+// The gate needs no cache-busting: the Go build cache replays compiler
+// diagnostics on cached compiles, so repeated runs are cheap and still
+// see the full transcript.
+package escapegate
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Packages are the kernel packages the gate watches: the inner-loop code
+// where an accidental heap escape is a real regression. Mirrors
+// loopbudget.Packages — the same packages whose loops must stay budgeted
+// must also stay allocation-stable.
+var Packages = []string{
+	"repro/internal/bipartite",
+	"repro/internal/matching",
+	"repro/internal/core",
+}
+
+// BaselinePath is the committed baseline, relative to the module root.
+const BaselinePath = "internal/analysis/escapegate/baseline.txt"
+
+// Diag is one escape diagnostic from the compiler transcript.
+type Diag struct {
+	Pkg     string // import path, from the preceding "# pkg" header
+	File    string // as printed by the compiler, relative to the build dir
+	Line    int
+	Col     int
+	Message string // e.g. "moved to heap: y", "&x escapes to heap"
+}
+
+// Entry keys the baseline: diagnostics are aggregated per (package,
+// function, message) rather than per line, so pure line-number churn from
+// unrelated edits does not invalidate the baseline while a genuinely new
+// escape still does.
+type Entry struct {
+	Pkg     string
+	Fn      string // receiver-qualified function name, "(init)" at top level
+	Message string
+}
+
+// Baseline maps entries to how many source positions report them.
+type Baseline map[Entry]int
+
+// Parse extracts escape diagnostics from a -gcflags=-m build transcript.
+// "# import/path" headers attribute the lines that follow; lines that do
+// not report an escape (inlining notes, "does not escape", bare errors)
+// are ignored.
+func Parse(r io.Reader) ([]Diag, error) {
+	var (
+		out []Diag
+		pkg string
+	)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "# "); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		d, ok := parseLine(line)
+		if !ok {
+			continue
+		}
+		d.Pkg = pkg
+		out = append(out, d)
+	}
+	return out, sc.Err()
+}
+
+// parseLine parses "file.go:line:col: message", keeping only escape
+// reports. The multi-line explanations of -m=2 (indented "flow:" chains)
+// never match the position prefix and fall through harmlessly.
+func parseLine(line string) (Diag, bool) {
+	if strings.HasPrefix(line, "\t") || strings.HasPrefix(line, " ") {
+		return Diag{}, false
+	}
+	rest := line
+	var parts [3]string
+	for i := 0; i < 3; i++ {
+		j := strings.Index(rest, ":")
+		if j < 0 {
+			return Diag{}, false
+		}
+		parts[i] = rest[:j]
+		rest = rest[j+1:]
+	}
+	msg := strings.TrimSpace(rest)
+	if !isEscape(msg) {
+		return Diag{}, false
+	}
+	ln, err1 := strconv.Atoi(parts[1])
+	col, err2 := strconv.Atoi(parts[2])
+	if err1 != nil || err2 != nil || !strings.HasSuffix(parts[0], ".go") {
+		return Diag{}, false
+	}
+	return Diag{File: parts[0], Line: ln, Col: col, Message: msg}, true
+}
+
+func isEscape(msg string) bool {
+	if strings.Contains(msg, "does not escape") {
+		return false
+	}
+	return strings.Contains(msg, "escapes to heap") ||
+		strings.HasPrefix(msg, "moved to heap:")
+}
+
+// Run builds the kernel packages with escape analysis enabled and returns
+// the parsed diagnostics. moduleRoot is the directory holding go.mod; the
+// compile itself goes to /dev/null — only the transcript matters.
+func Run(moduleRoot string) ([]Diag, error) {
+	args := append([]string{"build", "-o", os.DevNull, "-gcflags=-m"}, Packages...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = moduleRoot
+	var buf bytes.Buffer
+	cmd.Stderr = &buf
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("escapegate: go build: %v\n%s", err, buf.String())
+	}
+	return Parse(&buf)
+}
+
+// Attribute aggregates diagnostics into a baseline, resolving each
+// file:line to its enclosing function by parsing the source under
+// moduleRoot. Files that cannot be read or parsed attribute to "(init)"
+// rather than failing: the gate must degrade to coarser keys, not drop
+// escapes on the floor.
+func Attribute(diags []Diag, moduleRoot string) Baseline {
+	type span struct {
+		name       string
+		start, end int
+	}
+	spans := map[string][]span{} // file -> sorted function spans
+	funcSpans := func(file string) []span {
+		if s, ok := spans[file]; ok {
+			return s
+		}
+		var out []span
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, filepath.Join(moduleRoot, file), nil, 0)
+		if err == nil {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				out = append(out, span{
+					name:  funcName(fd),
+					start: fset.Position(fd.Pos()).Line,
+					end:   fset.Position(fd.End()).Line,
+				})
+			}
+		}
+		spans[file] = out
+		return out
+	}
+
+	b := Baseline{}
+	for _, d := range diags {
+		fn := "(init)"
+		for _, s := range funcSpans(d.File) {
+			if s.start <= d.Line && d.Line <= s.end {
+				fn = s.name
+				break
+			}
+		}
+		b[Entry{Pkg: d.Pkg, Fn: fn, Message: d.Message}]++
+	}
+	return b
+}
+
+// funcName returns the receiver-qualified name: "Cache.Put" for methods
+// (pointer receivers included), the bare name otherwise.
+func funcName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver T[P]
+		t = idx.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name + "." + fd.Name.Name
+	}
+	return fd.Name.Name
+}
+
+// ParseBaseline reads the committed baseline format: '#' comments and
+// blank lines are skipped; data lines are tab-separated
+// "pkg<TAB>function<TAB>count<TAB>message".
+func ParseBaseline(r io.Reader) (Baseline, error) {
+	b := Baseline{}
+	sc := bufio.NewScanner(r)
+	n := 0
+	for sc.Scan() {
+		n++
+		line := strings.TrimRight(sc.Text(), "\r\n")
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.SplitN(line, "\t", 4)
+		if len(f) != 4 {
+			return nil, fmt.Errorf("escapegate: baseline line %d: want 4 tab-separated fields, got %d", n, len(f))
+		}
+		c, err := strconv.Atoi(f[2])
+		if err != nil || c <= 0 {
+			return nil, fmt.Errorf("escapegate: baseline line %d: bad count %q", n, f[2])
+		}
+		e := Entry{Pkg: f[0], Fn: f[1], Message: f[3]}
+		if _, dup := b[e]; dup {
+			return nil, fmt.Errorf("escapegate: baseline line %d: duplicate entry %v", n, e)
+		}
+		b[e] = c
+	}
+	return b, sc.Err()
+}
+
+// WriteBaseline writes the baseline sorted by (pkg, fn, message) so
+// regeneration is deterministic and diffs stay reviewable.
+func WriteBaseline(w io.Writer, b Baseline) error {
+	entries := make([]Entry, 0, len(b))
+	for e := range b {
+		entries = append(entries, e)
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Pkg != entries[j].Pkg {
+			return entries[i].Pkg < entries[j].Pkg
+		}
+		if entries[i].Fn != entries[j].Fn {
+			return entries[i].Fn < entries[j].Fn
+		}
+		return entries[i].Message < entries[j].Message
+	})
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "# escapegate baseline: compiler escape diagnostics for the kernel packages,")
+	fmt.Fprintln(bw, "# aggregated per (package, function, message). Regenerate after a deliberate")
+	fmt.Fprintln(bw, "# change with: go run ./cmd/riskvet -escape-update")
+	fmt.Fprintln(bw, "# pkg\tfunction\tcount\tmessage")
+	for _, e := range entries {
+		fmt.Fprintf(bw, "%s\t%s\t%d\t%s\n", e.Pkg, e.Fn, b[e], e.Message)
+	}
+	return bw.Flush()
+}
+
+// Diff compares the current escape set against the baseline. New or
+// grown entries mean a fresh heap escape; vanished or shrunk entries mean
+// the baseline is stale. Both directions fail: the returned problems are
+// empty exactly when current == baseline.
+func Diff(current, baseline Baseline) []string {
+	var problems []string
+	keys := make([]Entry, 0, len(current)+len(baseline))
+	seen := map[Entry]bool{}
+	for e := range current {
+		keys = append(keys, e)
+		seen[e] = true
+	}
+	for e := range baseline {
+		if !seen[e] {
+			keys = append(keys, e)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Pkg != keys[j].Pkg {
+			return keys[i].Pkg < keys[j].Pkg
+		}
+		if keys[i].Fn != keys[j].Fn {
+			return keys[i].Fn < keys[j].Fn
+		}
+		return keys[i].Message < keys[j].Message
+	})
+	for _, e := range keys {
+		cur, base := current[e], baseline[e]
+		switch {
+		case cur > base:
+			problems = append(problems, fmt.Sprintf(
+				"new escape: %s %s: %q (%d, baseline %d)", e.Pkg, e.Fn, e.Message, cur, base))
+		case cur < base:
+			problems = append(problems, fmt.Sprintf(
+				"stale baseline entry: %s %s: %q (%d, baseline %d) — rerun riskvet -escape-update",
+				e.Pkg, e.Fn, e.Message, cur, base))
+		}
+	}
+	return problems
+}
+
+// Check runs the gate end to end: compile, attribute, diff against the
+// committed baseline. It returns the problem list (empty means the gate
+// passes) and a hard error for operational failures (compile failed,
+// baseline unreadable).
+func Check(moduleRoot string) ([]string, error) {
+	diags, err := Run(moduleRoot)
+	if err != nil {
+		return nil, err
+	}
+	current := Attribute(diags, moduleRoot)
+	f, err := os.Open(filepath.Join(moduleRoot, BaselinePath))
+	if err != nil {
+		return nil, fmt.Errorf("escapegate: no committed baseline (run riskvet -escape-update to create one): %w", err)
+	}
+	defer f.Close()
+	baseline, err := ParseBaseline(f)
+	if err != nil {
+		return nil, err
+	}
+	return Diff(current, baseline), nil
+}
+
+// Update regenerates the committed baseline from a fresh compile.
+func Update(moduleRoot string) error {
+	diags, err := Run(moduleRoot)
+	if err != nil {
+		return err
+	}
+	current := Attribute(diags, moduleRoot)
+	path := filepath.Join(moduleRoot, BaselinePath)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteBaseline(f, current); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,152 @@
+package escapegate
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// transcript is a canned -gcflags=-m stderr capture: package headers,
+// inlining chatter, non-escaping params, multi-line -m=2 flow notes, and
+// the three diagnostic shapes the parser must keep.
+const transcript = `# repro/internal/bipartite
+internal/bipartite/delta.go:52:95: ~r0 escapes to heap
+internal/bipartite/delta.go:60:12: moved to heap: y
+internal/bipartite/graph.go:70:6: can inline groupRange
+internal/bipartite/graph.go:81:14: b does not escape
+internal/bipartite/graph.go:88:20: &lo escapes to heap
+	flow: {heap} = &lo:
+	  from &lo (address-of) at internal/bipartite/graph.go:88:20
+# repro/internal/core
+internal/core/exact.go:40:9: make([]bool, n) escapes to heap
+internal/core/exact.go:40:9: make([]bool, n) escapes to heap
+not-a-position line without enough colons
+internal/core/exact.go:bad:9: unparseable position escapes to heap
+`
+
+func TestParse(t *testing.T) {
+	diags, err := Parse(strings.NewReader(transcript))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	want := []Diag{
+		{Pkg: "repro/internal/bipartite", File: "internal/bipartite/delta.go", Line: 52, Col: 95, Message: "~r0 escapes to heap"},
+		{Pkg: "repro/internal/bipartite", File: "internal/bipartite/delta.go", Line: 60, Col: 12, Message: "moved to heap: y"},
+		{Pkg: "repro/internal/bipartite", File: "internal/bipartite/graph.go", Line: 88, Col: 20, Message: "&lo escapes to heap"},
+		{Pkg: "repro/internal/core", File: "internal/core/exact.go", Line: 40, Col: 9, Message: "make([]bool, n) escapes to heap"},
+		{Pkg: "repro/internal/core", File: "internal/core/exact.go", Line: 40, Col: 9, Message: "make([]bool, n) escapes to heap"},
+	}
+	if !reflect.DeepEqual(diags, want) {
+		t.Errorf("Parse:\n got %+v\nwant %+v", diags, want)
+	}
+}
+
+func TestAttribute(t *testing.T) {
+	dir := t.TempDir()
+	src := `package p
+
+func Free(n int) []int {
+	s := make([]int, n)
+	return s
+}
+
+type Box struct{ v int }
+
+func (b *Box) Fill(n int) *int {
+	x := n
+	return &x
+}
+
+var sink = func() *int { y := 1; return &y }()
+`
+	if err := os.MkdirAll(filepath.Join(dir, "pkg"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "pkg", "p.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	diags := []Diag{
+		{Pkg: "x/pkg", File: "pkg/p.go", Line: 4, Message: "make([]int, n) escapes to heap"},
+		{Pkg: "x/pkg", File: "pkg/p.go", Line: 11, Message: "moved to heap: x"},
+		{Pkg: "x/pkg", File: "pkg/p.go", Line: 15, Message: "moved to heap: y"},
+		{Pkg: "x/pkg", File: "pkg/missing.go", Line: 1, Message: "moved to heap: z"},
+	}
+	got := Attribute(diags, dir)
+	want := Baseline{
+		{Pkg: "x/pkg", Fn: "Free", Message: "make([]int, n) escapes to heap"}: 1,
+		{Pkg: "x/pkg", Fn: "Box.Fill", Message: "moved to heap: x"}:           1,
+		{Pkg: "x/pkg", Fn: "(init)", Message: "moved to heap: y"}:             1,
+		{Pkg: "x/pkg", Fn: "(init)", Message: "moved to heap: z"}:             1,
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Attribute:\n got %v\nwant %v", got, want)
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	b := Baseline{
+		{Pkg: "a", Fn: "F", Message: "moved to heap: x"}:       2,
+		{Pkg: "a", Fn: "T.M", Message: "&y escapes to heap"}:   1,
+		{Pkg: "b", Fn: "(init)", Message: "z escapes to heap"}: 3,
+	}
+	var sb strings.Builder
+	if err := WriteBaseline(&sb, b); err != nil {
+		t.Fatalf("WriteBaseline: %v", err)
+	}
+	got, err := ParseBaseline(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("ParseBaseline: %v\n%s", err, sb.String())
+	}
+	if !reflect.DeepEqual(got, b) {
+		t.Errorf("round trip:\n got %v\nwant %v", got, b)
+	}
+	// Deterministic output: writing again yields the identical file.
+	var sb2 strings.Builder
+	if err := WriteBaseline(&sb2, b); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != sb2.String() {
+		t.Error("WriteBaseline is not deterministic")
+	}
+}
+
+func TestDiff(t *testing.T) {
+	e1 := Entry{Pkg: "a", Fn: "F", Message: "moved to heap: x"}
+	e2 := Entry{Pkg: "a", Fn: "G", Message: "&y escapes to heap"}
+	e3 := Entry{Pkg: "b", Fn: "H", Message: "z escapes to heap"}
+
+	if p := Diff(Baseline{e1: 1, e2: 2}, Baseline{e1: 1, e2: 2}); len(p) != 0 {
+		t.Errorf("equal baselines: got problems %v", p)
+	}
+	p := Diff(Baseline{e1: 2, e3: 1}, Baseline{e1: 1, e2: 1})
+	if len(p) != 3 {
+		t.Fatalf("got %d problems, want 3: %v", len(p), p)
+	}
+	if !strings.Contains(p[0], "new escape") || !strings.Contains(p[0], "a F") {
+		t.Errorf("p[0] = %q, want grown-count new escape for a.F", p[0])
+	}
+	if !strings.Contains(p[1], "stale baseline entry") {
+		t.Errorf("p[1] = %q, want stale entry for a.G", p[1])
+	}
+	if !strings.Contains(p[2], "new escape") || !strings.Contains(p[2], "b H") {
+		t.Errorf("p[2] = %q, want new escape for b.H", p[2])
+	}
+}
+
+// TestGateLive runs the real gate against the committed baseline, so `go
+// test` itself notices when kernel escape behaviour drifts from what is
+// checked in. Skipped in -short: it shells out to go build.
+func TestGateLive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go build")
+	}
+	problems, err := Check("../../..")
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	for _, p := range problems {
+		t.Errorf("escape gate: %s", p)
+	}
+}

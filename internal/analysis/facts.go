@@ -1,0 +1,150 @@
+package analysis
+
+import (
+	"fmt"
+	"go/types"
+	"reflect"
+)
+
+// A Fact is a typed datum one pass attaches to a package-level object or to
+// a whole package so that passes of the same analyzer over *dependent*
+// packages can read it back. Facts flow strictly along the import graph:
+// the driver analyzes packages in dependency order (see Load), an analyzer
+// exports facts while running on the declaring package, and a later pass of
+// the same analyzer may import them only if its package transitively
+// imports the declaring one. Concrete fact types must be pointers to
+// structs and must be listed in the exporting analyzer's FactTypes.
+//
+// Cross-package object identity is the subtle part of the offline driver:
+// when package B references an object declared in package A, B's typecheck
+// materializes that object from A's *export data*, so it is not
+// pointer-equal to the object A's own source typecheck produced. The store
+// therefore keys facts by (package path, stable object path) rather than by
+// object identity — see objectPath.
+type Fact interface {
+	// AFact marks the type as a fact; it has no behavior.
+	AFact()
+}
+
+// factKey identifies one stored fact: which analyzer produced it, which
+// package owns it, which object within that package (empty for package
+// facts), and the concrete fact type.
+type factKey struct {
+	analyzer string
+	pkg      string
+	object   string
+	typ      reflect.Type
+}
+
+// factStore is the driver-owned map shared by every pass of one Run call.
+type factStore struct {
+	m map[factKey]Fact
+}
+
+func newFactStore() *factStore { return &factStore{m: map[factKey]Fact{}} }
+
+// objectPath returns a name for obj that is stable across the two ways the
+// driver can see the same object: typechecked from source in its declaring
+// package, or materialized from export data inside a dependent package.
+// Methods are receiver-qualified ("Cache.Put"); everything else is the bare
+// package-level name.
+func objectPath(obj types.Object) string {
+	if f, ok := obj.(*types.Func); ok {
+		if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+			t := sig.Recv().Type()
+			if ptr, ok := t.(*types.Pointer); ok {
+				t = ptr.Elem()
+			}
+			if named, ok := t.(*types.Named); ok {
+				return named.Obj().Name() + "." + f.Name()
+			}
+		}
+	}
+	return obj.Name()
+}
+
+// ExportObjectFact associates fact with obj, which must be declared by the
+// pass's own package. Passes of the same analyzer over packages that import
+// this one can read it back with ImportObjectFact.
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	if obj == nil || obj.Pkg() == nil {
+		panic(p.Analyzer.Name + ": ExportObjectFact: object has no package")
+	}
+	if obj.Pkg() != p.Pkg {
+		panic(fmt.Sprintf("%s: ExportObjectFact: %s belongs to %s, not to the pass package %s",
+			p.Analyzer.Name, obj.Name(), obj.Pkg().Path(), p.Pkg.Path()))
+	}
+	p.storeFact(p.Pkg.Path(), objectPath(obj), fact)
+}
+
+// ImportObjectFact copies into fact (which must be a pointer of the same
+// concrete type as the exported fact) the fact previously exported for obj,
+// reporting whether one was found. It returns false when obj's package is
+// neither the pass's package nor one of its transitive imports: facts only
+// flow along the dependency order the driver analyzes in.
+func (p *Pass) ImportObjectFact(obj types.Object, fact Fact) bool {
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	path := obj.Pkg().Path()
+	if path != p.Pkg.Path() && !p.deps[path] {
+		return false
+	}
+	return p.loadFact(path, objectPath(obj), fact)
+}
+
+// ExportPackageFact associates fact with the pass's package as a whole.
+func (p *Pass) ExportPackageFact(fact Fact) {
+	p.storeFact(p.Pkg.Path(), "", fact)
+}
+
+// ImportPackageFact copies into fact the package fact previously exported
+// for the package with the given import path, reporting whether one was
+// found. The path must be the pass's package or a transitive import.
+func (p *Pass) ImportPackageFact(path string, fact Fact) bool {
+	if path != p.Pkg.Path() && !p.deps[path] {
+		return false
+	}
+	return p.loadFact(path, "", fact)
+}
+
+func (p *Pass) storeFact(pkg, object string, fact Fact) {
+	if p.facts == nil {
+		panic(p.Analyzer.Name + ": fact export outside a driver Run")
+	}
+	t := p.checkFactType(fact)
+	if !p.declaresFactType(t) {
+		panic(fmt.Sprintf("%s: fact type %T is not listed in FactTypes", p.Analyzer.Name, fact))
+	}
+	p.facts.m[factKey{p.Analyzer.Name, pkg, object, t}] = fact
+}
+
+func (p *Pass) loadFact(pkg, object string, fact Fact) bool {
+	if p.facts == nil {
+		return false
+	}
+	t := p.checkFactType(fact)
+	got, ok := p.facts.m[factKey{p.Analyzer.Name, pkg, object, t}]
+	if !ok {
+		return false
+	}
+	reflect.ValueOf(fact).Elem().Set(reflect.ValueOf(got).Elem())
+	return true
+}
+
+func (p *Pass) checkFactType(fact Fact) reflect.Type {
+	t := reflect.TypeOf(fact)
+	if t == nil || t.Kind() != reflect.Pointer {
+		panic(fmt.Sprintf("%s: fact %T must be a pointer to a struct", p.Analyzer.Name, fact))
+	}
+	return t
+}
+
+func (p *Pass) declaresFactType(t reflect.Type) bool {
+	for _, ft := range p.Analyzer.FactTypes {
+		if reflect.TypeOf(ft) == t {
+			return true
+		}
+	}
+	return false
+}

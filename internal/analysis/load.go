@@ -13,7 +13,6 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
-	"sort"
 	"strings"
 )
 
@@ -25,6 +24,10 @@ type Package struct {
 	Files      []*ast.File
 	Types      *types.Package
 	Info       *types.Info
+	// Deps is the set of transitive import paths, used by the driver to
+	// scope fact visibility: a pass may only import facts from packages it
+	// depends on.
+	Deps map[string]bool
 }
 
 // listedPackage is the subset of `go list -json` output the loader needs.
@@ -34,6 +37,7 @@ type listedPackage struct {
 	Name       string
 	Export     string
 	GoFiles    []string
+	Deps       []string
 	DepOnly    bool
 	Standard   bool
 	Incomplete bool
@@ -50,6 +54,11 @@ type listedPackage struct {
 // Test files (*_test.go) are excluded: the enforced invariants concern
 // production code, and tests legitimately use wall clocks and ad-hoc
 // randomness.
+//
+// The returned packages are in dependency order — every package comes after
+// all packages it imports (`go list -deps` emits its union in that order) —
+// which is what lets the driver flow analyzer facts from a package to its
+// dependents in a single sweep.
 func Load(dir string, patterns ...string) ([]*Package, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
@@ -92,12 +101,11 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		}
 		pkgs = append(pkgs, pkg)
 	}
-	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].ImportPath < pkgs[j].ImportPath })
 	return pkgs, nil
 }
 
 func goList(dir string, patterns []string) ([]*listedPackage, error) {
-	args := append([]string{"list", "-e", "-export", "-deps", "-json=ImportPath,Dir,Name,Export,GoFiles,DepOnly,Standard,Incomplete,Error", "--"}, patterns...)
+	args := append([]string{"list", "-e", "-export", "-deps", "-json=ImportPath,Dir,Name,Export,GoFiles,Deps,DepOnly,Standard,Incomplete,Error", "--"}, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
 	var out, errb bytes.Buffer
@@ -145,6 +153,10 @@ func typecheck(fset *token.FileSet, imp types.Importer, lp *listedPackage) (*Pac
 	if err != nil {
 		return nil, fmt.Errorf("typecheck %s: %v", lp.ImportPath, err)
 	}
+	deps := make(map[string]bool, len(lp.Deps))
+	for _, d := range lp.Deps {
+		deps[d] = true
+	}
 	return &Package{
 		ImportPath: lp.ImportPath,
 		Dir:        lp.Dir,
@@ -152,5 +164,6 @@ func typecheck(fset *token.FileSet, imp types.Importer, lp *listedPackage) (*Pac
 		Files:      files,
 		Types:      tpkg,
 		Info:       info,
+		Deps:       deps,
 	}, nil
 }

@@ -1,0 +1,263 @@
+// Package loopbudget defines an Analyzer generalizing ctxbudget from
+// signatures to bodies: inside the kernel packages (bipartite, matching,
+// core), a data-dependent loop nest — nesting depth ≥ 2 where at least one
+// loop's trip count depends on runtime data — must consult the work budget
+// or the context somewhere in the nest. The budget is the repo's graceful-
+// degradation contract (exact → MCMC → O-estimate instead of hanging): a
+// kernel loop that never calls Charge/Check or checks ctx can run
+// arbitrarily long past its deadline, which is exactly the failure the
+// budget machinery exists to rule out.
+//
+// Constant-trip nests (literal bounds, range over arrays or constant ints)
+// are exempt — they cannot be data-sized. Depth-1 loops are exempt too:
+// kernels legitimately charge per-sweep in the caller (simulateRun charges
+// before each Sweep), and flagging every linear scan would drown the
+// signal. A consult counts when it is a direct Charge/Check/Err/Done on a
+// budget or context value, or a call to a package-local function that
+// directly consults.
+package loopbudget
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Packages lists the kernel packages whose loop nests must be budgeted.
+// Tests register fixture packages here.
+var Packages = map[string]bool{
+	"repro/internal/bipartite": true,
+	"repro/internal/matching":  true,
+	"repro/internal/core":      true,
+}
+
+// BudgetPath is the import path of the budget package whose Charge/Check
+// methods count as consults.
+var BudgetPath = "repro/internal/budget"
+
+// Analyzer is the loopbudget check.
+var Analyzer = &analysis.Analyzer{
+	Name: "loopbudget",
+	Doc:  "data-dependent loop nests (depth >= 2) in kernel packages must consult the shared work budget or the context within the nest: call (*budget.Budget).Charge/Check (or a Worker/Shared view), check ctx.Err/ctx.Done, or delegate to a local helper that does. Constant-trip nests and single loops are exempt.",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !Packages[pass.Pkg.Path()] {
+		return nil
+	}
+	c := &checker{pass: pass, consulters: map[*types.Func]bool{}}
+	// Pre-pass: package-local functions that directly consult, so helpers
+	// like a chargeStep() called from the loop body count.
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok && c.directConsult(fd.Body) {
+				c.consulters[fn] = true
+			}
+		}
+	}
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				c.checkRegion(fd.Body)
+			}
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	pass       *analysis.Pass
+	consulters map[*types.Func]bool
+}
+
+// checkRegion finds the outermost loops of one function body. Function
+// literals are their own regions: a loop inside a closure is not "nested"
+// in the loop that spawned the closure.
+func (c *checker) checkRegion(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			c.checkRegion(n.Body)
+			return false
+		case *ast.ForStmt, *ast.RangeStmt:
+			c.checkNest(n.(ast.Stmt))
+			return false
+		}
+		return true
+	})
+}
+
+// checkNest reports the outermost loop of a data-dependent nest of depth
+// >= 2 that never consults the budget or context, then descends into any
+// function literals so their loops get their own regions.
+func (c *checker) checkNest(loop ast.Stmt) {
+	depth, dataDep := c.nestShape(loop)
+	if depth >= 2 && dataDep && !c.hasConsult(loop) {
+		c.pass.Reportf(loop.Pos(), "data-dependent loop nest never consults the work budget or context; call Charge/Check or check ctx within the nest")
+	}
+	ast.Inspect(loopBody(loop), func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			c.checkRegion(lit.Body)
+			return false
+		}
+		return true
+	})
+}
+
+// nestShape returns the maximum loop-nesting depth rooted at loop (not
+// crossing function literals) and whether any loop in that nest is
+// data-dependent.
+func (c *checker) nestShape(loop ast.Stmt) (depth int, dataDep bool) {
+	dataDep = c.dataDependent(loop)
+	inner := 0
+	ast.Inspect(loopBody(loop), func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt, *ast.RangeStmt:
+			d, dd := c.nestShape(n.(ast.Stmt))
+			if d > inner {
+				inner = d
+			}
+			dataDep = dataDep || dd
+			return false
+		}
+		return true
+	})
+	return inner + 1, dataDep
+}
+
+// dataDependent reports whether the loop's trip count can depend on
+// runtime data: any range over a non-array, non-constant operand, any for
+// without a condition, and any condition without a constant operand.
+func (c *checker) dataDependent(loop ast.Stmt) bool {
+	switch l := loop.(type) {
+	case *ast.RangeStmt:
+		tv, ok := c.pass.TypesInfo.Types[l.X]
+		if !ok || tv.Type == nil {
+			return true
+		}
+		if tv.Value != nil {
+			return false // range over a constant int
+		}
+		t := tv.Type.Underlying()
+		if p, isPtr := t.(*types.Pointer); isPtr {
+			t = p.Elem().Underlying()
+		}
+		_, isArray := t.(*types.Array)
+		return !isArray
+	case *ast.ForStmt:
+		if l.Cond == nil {
+			return true
+		}
+		if be, ok := l.Cond.(*ast.BinaryExpr); ok {
+			if c.constOperand(be.X) || c.constOperand(be.Y) {
+				return false
+			}
+		}
+		return true
+	}
+	return true
+}
+
+func (c *checker) constOperand(e ast.Expr) bool {
+	tv, ok := c.pass.TypesInfo.Types[e]
+	return ok && tv.Value != nil
+}
+
+// hasConsult reports whether node contains a budget/context consult,
+// directly or via a package-local consulting helper. Function literals
+// count: a consult inside a per-iteration closure still bounds the work.
+func (c *checker) hasConsult(node ast.Node) bool {
+	found := false
+	ast.Inspect(node, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if c.isConsultCall(call) {
+			found = true
+			return false
+		}
+		if fn := calleeFunc(c.pass.TypesInfo, call); fn != nil && c.consulters[fn] {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// directConsult reports whether body contains a direct budget/context
+// method consult (no helper indirection).
+func (c *checker) directConsult(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && c.isConsultCall(call) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isConsultCall reports whether call is a Charge/Check-family method on a
+// budget type or an Err/Done on a context.Context.
+func (c *checker) isConsultCall(call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, _ := c.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Name() {
+	case "Charge", "Check", "Ops", "Remaining", "Err":
+		if fn.Pkg().Path() == BudgetPath {
+			return true
+		}
+	}
+	switch fn.Name() {
+	case "Err", "Done", "Deadline":
+		if fn.Pkg().Path() == "context" {
+			return true
+		}
+	}
+	return false
+}
+
+func loopBody(loop ast.Stmt) *ast.BlockStmt {
+	switch l := loop.(type) {
+	case *ast.ForStmt:
+		return l.Body
+	case *ast.RangeStmt:
+		return l.Body
+	}
+	return nil
+}
+
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch e := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[e].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[e.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}

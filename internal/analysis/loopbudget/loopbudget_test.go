@@ -1,0 +1,18 @@
+package loopbudget_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/loopbudget"
+)
+
+const fixturePath = "repro/internal/analysis/testdata/src/loopbudgettest"
+
+func TestLoopbudget(t *testing.T) {
+	loopbudget.Packages[fixturePath] = true
+	defer delete(loopbudget.Packages, fixturePath)
+	analysistest.Run(t, "../testdata/src/loopbudgettest",
+		[]*analysis.Analyzer{loopbudget.Analyzer}, nil)
+}

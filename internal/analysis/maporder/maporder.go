@@ -1,0 +1,442 @@
+// Package maporder defines an Analyzer enforcing the repo's determinism
+// invariant at map-iteration sites: values produced in Go's randomized map
+// order must not flow into ordered sinks — io/digest writes, channel sends,
+// order-sensitive calls, or slice accumulations that are never sorted —
+// without an intervening sort. Byte-identical output at any worker count is
+// the correctness contract the experiment tables, content digests, and the
+// run registry's bit-for-bit replay all rest on; one unsorted map range in
+// an emit path breaks all three at once.
+//
+// detrand's rule 4 already polices map iteration inside the deterministic
+// packages (matching, recipe, experiments, parallel) with a stricter
+// whitelist, so this analyzer covers everything else and skips those
+// packages to avoid double-reporting.
+//
+// Within a `for k, v := range m` over a map, the analyzer taints k, v, and
+// locals derived from them, then reports:
+//
+//   - channel sends in the body;
+//   - calls to io-like sinks (fmt.Print*/Fprint*, any Write* method);
+//   - calls whose receiver or arguments are tainted (their effects happen
+//     in map order);
+//   - float accumulation from tainted values (not associative);
+//   - appends of tainted values to a slice declared outside the loop that
+//     is never passed to a sort afterwards in the same function — the
+//     collect-then-sort idiom (dataset.GroupItems) passes, the missing
+//     sort is the diagnostic.
+//
+// Integer accumulation, map writes, delete, and budget/context consults
+// stay exempt: they are order-insensitive or required by other checks.
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/detrand"
+)
+
+// Skip lists import paths whose map-iteration discipline detrand rule 4
+// already enforces; initialized from detrand.Packages before tests mutate
+// it for fixture registration.
+var Skip = func() map[string]bool {
+	m := make(map[string]bool, len(detrand.Packages))
+	for p := range detrand.Packages {
+		m[p] = true
+	}
+	return m
+}()
+
+// Analyzer is the maporder check.
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc:  "map iteration order must not reach ordered sinks: no channel sends, io/digest writes, order-dependent calls, float accumulation, or never-sorted slice accumulation inside a range over a map. Collect keys and sort them first (dataset.GroupItems is the canonical shape). Packages covered by detrand rule 4 are skipped.",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if Skip[pass.Pkg.Path()] {
+		return nil
+	}
+	c := &checker{pass: pass}
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				c.checkFunc(fd.Body)
+			}
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	pass *analysis.Pass
+}
+
+// checkFunc checks every map range whose innermost enclosing function is
+// this body; nested function literals recurse so their "sorted afterwards"
+// search has the right scope.
+func (c *checker) checkFunc(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			c.checkFunc(n.Body)
+			return false
+		case *ast.RangeStmt:
+			if c.isMapRange(n) {
+				c.checkRange(n, body)
+			}
+		}
+		return true
+	})
+}
+
+func (c *checker) isMapRange(rng *ast.RangeStmt) bool {
+	tv, ok := c.pass.TypesInfo.Types[rng.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// checkRange reports the ordered sinks inside one map range. fnBody is the
+// innermost enclosing function body, the scope searched for a sort after
+// the loop.
+func (c *checker) checkRange(rng *ast.RangeStmt, fnBody *ast.BlockStmt) {
+	tainted := c.taintedObjects(rng)
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if c.isMapRange(n) {
+				return false // checked on its own; avoid double reports
+			}
+		case *ast.SendStmt:
+			c.pass.Reportf(n.Pos(), "map iteration order reaches a channel send; iterate over sorted keys")
+		case *ast.AssignStmt:
+			c.checkAssign(n, rng, fnBody, tainted)
+		case *ast.CallExpr:
+			c.checkCall(n, tainted)
+		}
+		return true
+	})
+}
+
+// taintedObjects collects the range's key/value objects plus locals
+// assigned from them (one-level-closed with a small fixed point).
+func (c *checker) taintedObjects(rng *ast.RangeStmt) map[types.Object]bool {
+	tainted := map[types.Object]bool{}
+	add := func(e ast.Expr) {
+		if id, ok := e.(*ast.Ident); ok {
+			if obj := c.objectOf(id); obj != nil {
+				tainted[obj] = true
+			}
+		}
+	}
+	if rng.Key != nil {
+		add(rng.Key)
+	}
+	if rng.Value != nil {
+		add(rng.Value)
+	}
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(rng.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := c.objectOf(id)
+				if obj == nil || tainted[obj] {
+					continue
+				}
+				// With a single multi-valued RHS, any tainted input
+				// taints every output.
+				rhs := as.Rhs[0]
+				if len(as.Rhs) == len(as.Lhs) {
+					rhs = as.Rhs[i]
+				}
+				if c.mentionsTainted(rhs, tainted) {
+					tainted[obj] = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+	return tainted
+}
+
+func (c *checker) objectOf(id *ast.Ident) types.Object {
+	if obj := c.pass.TypesInfo.Defs[id]; obj != nil {
+		return obj
+	}
+	return c.pass.TypesInfo.Uses[id]
+}
+
+func (c *checker) mentionsTainted(e ast.Expr, tainted map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := c.objectOf(id); obj != nil && tainted[obj] {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// checkAssign handles the two assignment-shaped sinks: float accumulation
+// and never-sorted slice accumulation.
+func (c *checker) checkAssign(as *ast.AssignStmt, rng *ast.RangeStmt, fnBody *ast.BlockStmt, tainted map[types.Object]bool) {
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		if len(as.Lhs) == 1 && c.isFloat(as.Lhs[0]) && c.mentionsTainted(as.Rhs[0], tainted) {
+			c.pass.Reportf(as.Pos(), "float accumulation in map iteration order is not associative; accumulate over sorted keys")
+		}
+		return
+	}
+	for i, rhs := range as.Rhs {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok || !c.isBuiltin(call, "append") || i >= len(as.Lhs) {
+			continue
+		}
+		taintedArg := false
+		for _, a := range call.Args[1:] {
+			if c.mentionsTainted(a, tainted) {
+				taintedArg = true
+			}
+		}
+		if !taintedArg {
+			continue
+		}
+		base := baseIdent(as.Lhs[i])
+		if base == nil {
+			continue
+		}
+		if ix, ok := as.Lhs[i].(*ast.IndexExpr); ok {
+			if tv, ok := c.pass.TypesInfo.Types[ix.X]; ok && tv.Type != nil {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					continue // map write: order-insensitive
+				}
+			}
+		}
+		obj := c.objectOf(base)
+		if obj == nil || within(obj.Pos(), rng) {
+			continue // loop-local accumulation: covered by the call rule at its use
+		}
+		if !c.sortedAfter(obj, rng, fnBody) {
+			c.pass.Reportf(as.Pos(), "%s accumulates map-range values in iteration order and is never sorted in this function; sort it after the loop", base.Name)
+		}
+	}
+}
+
+// checkCall reports calls that are ordered sinks or whose effects depend on
+// the iteration order through tainted receivers/arguments.
+func (c *checker) checkCall(call *ast.CallExpr, tainted map[types.Object]bool) {
+	if tv, ok := c.pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		return // conversion
+	}
+	if c.isAnyBuiltin(call) {
+		return // append handled by checkAssign; delete/len/cap are exempt
+	}
+	fn := calleeFunc(c.pass.TypesInfo, call)
+	if fn != nil {
+		if exemptCallee(fn) {
+			return
+		}
+		if ioSink(fn) {
+			c.pass.Reportf(call.Pos(), "map iteration order reaches ordered sink %s; iterate over sorted keys", fn.Name())
+			return
+		}
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && c.mentionsTainted(sel.X, tainted) {
+		c.report(call, fn)
+		return
+	}
+	for _, a := range call.Args {
+		if c.mentionsTainted(a, tainted) {
+			c.report(call, fn)
+			return
+		}
+	}
+}
+
+func (c *checker) report(call *ast.CallExpr, fn *types.Func) {
+	name := "function"
+	if fn != nil {
+		name = fn.Name()
+	}
+	c.pass.Reportf(call.Pos(), "call to %s depends on map iteration order; iterate over sorted keys or make the operation order-insensitive", name)
+}
+
+func (c *checker) isFloat(e ast.Expr) bool {
+	tv, ok := c.pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func (c *checker) isBuiltin(call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, isB := c.pass.TypesInfo.Uses[id].(*types.Builtin)
+	return isB
+}
+
+func (c *checker) isAnyBuiltin(call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isB := c.pass.TypesInfo.Uses[id].(*types.Builtin)
+	return isB
+}
+
+// sortedAfter reports whether, after the range statement, the enclosing
+// function passes obj to a sort (sort.*/slices.* call or a Sort method).
+func (c *checker) sortedAfter(obj types.Object, rng *ast.RangeStmt, fnBody *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= rng.End() {
+			return true
+		}
+		if !c.isSortCall(call) {
+			return true
+		}
+		for _, a := range call.Args {
+			if c.mentionsObject(a, obj) {
+				found = true
+				return false
+			}
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && c.mentionsObject(sel.X, obj) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func (c *checker) isSortCall(call *ast.CallExpr) bool {
+	fn := calleeFunc(c.pass.TypesInfo, call)
+	if fn == nil {
+		return false
+	}
+	if fn.Pkg() != nil {
+		switch fn.Pkg().Path() {
+		case "sort", "slices":
+			return true
+		}
+	}
+	return strings.HasPrefix(fn.Name(), "Sort")
+}
+
+func (c *checker) mentionsObject(e ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && c.objectOf(id) == obj {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// exemptCallee lists callees whose presence in a map range is fine or
+// mandated by other checks: budget/context consults and sorts.
+func exemptCallee(fn *types.Func) bool {
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Path()
+	}
+	switch fn.Name() {
+	case "Charge", "Check", "Ops", "Remaining":
+		if strings.HasSuffix(pkg, "/budget") {
+			return true
+		}
+	case "Err", "Done", "Deadline", "Value":
+		if pkg == "context" || pkg == "" {
+			return true
+		}
+	}
+	if pkg == "sort" || pkg == "slices" {
+		return true
+	}
+	return false
+}
+
+// ioSink reports whether fn emits to an ordered stream: the fmt print
+// family or any Write-shaped method (io.Writer, hash.Hash, csv.Writer,
+// strings.Builder, ...).
+func ioSink(fn *types.Func) bool {
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		n := fn.Name()
+		return strings.HasPrefix(n, "Print") || strings.HasPrefix(n, "Fprint")
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return strings.HasPrefix(fn.Name(), "Write")
+	}
+	return false
+}
+
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch e := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[e].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[e.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// baseIdent peels index/selector expressions down to the root identifier.
+func baseIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// within reports whether pos lies inside the range statement's extent.
+func within(pos token.Pos, rng *ast.RangeStmt) bool {
+	return pos >= rng.Pos() && pos <= rng.End()
+}

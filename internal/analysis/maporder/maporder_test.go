@@ -1,0 +1,28 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/detrand"
+	"repro/internal/analysis/maporder"
+)
+
+func TestMaporder(t *testing.T) {
+	analysistest.Run(t, "../testdata/src/maporderrtest",
+		[]*analysis.Analyzer{maporder.Analyzer}, nil)
+}
+
+// TestSkipMirrorsDetrand pins the no-double-reporting contract: every
+// package detrand rule 4 already polices is skipped here.
+func TestSkipMirrorsDetrand(t *testing.T) {
+	for p := range detrand.Packages {
+		if !maporder.Skip[p] {
+			t.Errorf("maporder.Skip missing detrand-covered package %s", p)
+		}
+	}
+	if len(maporder.Skip) == 0 {
+		t.Fatal("maporder.Skip is empty")
+	}
+}

@@ -7,20 +7,30 @@ import (
 	"go/token"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/cachetaint"
 	"repro/internal/analysis/ctxbudget"
 	"repro/internal/analysis/detrand"
 	"repro/internal/analysis/errcmp"
 	"repro/internal/analysis/floateq"
+	"repro/internal/analysis/loopbudget"
+	"repro/internal/analysis/maporder"
 	"repro/internal/analysis/retrysleep"
 	"repro/internal/analysis/streamticker"
 )
 
-// Analyzers is the full suite in reporting order.
+// Analyzers is the full suite in reporting order. cachetaint runs first:
+// it exports carrier/gate facts that must be in the store before dependent
+// packages are checked (the driver's dependency-order sweep makes that
+// ordering hold across packages; within one package the analyzer exports
+// before it checks).
 var Analyzers = []*analysis.Analyzer{
+	cachetaint.Analyzer,
 	ctxbudget.Analyzer,
 	detrand.Analyzer,
 	errcmp.Analyzer,
 	floateq.Analyzer,
+	loopbudget.Analyzer,
+	maporder.Analyzer,
 	retrysleep.Analyzer,
 	streamticker.Analyzer,
 }

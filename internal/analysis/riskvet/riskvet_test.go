@@ -25,8 +25,9 @@ func TestCleanFixture(t *testing.T) {
 
 func TestNames(t *testing.T) {
 	want := map[string]bool{
-		"suppress": true, "ctxbudget": true, "detrand": true,
-		"errcmp": true, "floateq": true, "retrysleep": true,
+		"suppress": true, "cachetaint": true, "ctxbudget": true,
+		"detrand": true, "errcmp": true, "floateq": true,
+		"loopbudget": true, "maporder": true, "retrysleep": true,
 		"streamticker": true,
 	}
 	got := Names()

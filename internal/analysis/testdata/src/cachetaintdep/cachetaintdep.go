@@ -1,0 +1,32 @@
+// Package cachetaintdep is the dependency half of the cachetaint fixture:
+// it declares a degraded-carrying verdict type and gate functions whose
+// classifications must reach the dependent fixture package as facts.
+package cachetaintdep
+
+// Verdict is a carrier: a named struct with a Degraded bool field.
+type Verdict struct {
+	Value    int
+	Degraded bool
+}
+
+// Gate derives the cacheable flag from Degraded on every return, so
+// dependent packages may pass it (or delegate to it) as a GetOrCompute
+// compute function.
+func Gate() (*Verdict, bool, error) {
+	v := &Verdict{}
+	return v, !v.Degraded, nil
+}
+
+// Leak hardwires cacheable=true, so it must not classify as a gate.
+func Leak() (*Verdict, bool, error) {
+	return &Verdict{Value: 1}, true, nil
+}
+
+// Store carries a gate method, exercising receiver-qualified fact paths.
+type Store struct{}
+
+// GateM is a gate, reachable cross-package as the fact "Store.GateM".
+func (Store) GateM() (*Verdict, bool, error) {
+	v := &Verdict{}
+	return v, !v.Degraded, nil
+}

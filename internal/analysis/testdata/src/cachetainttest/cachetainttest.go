@@ -1,0 +1,83 @@
+// Package cachetainttest exercises the cachetaint sinks against gates,
+// guards, and carriers declared both locally and in the cachetaintdep
+// fixture (whose classifications arrive as facts).
+package cachetainttest
+
+import (
+	"context"
+	"io"
+
+	dep "repro/internal/analysis/testdata/src/cachetaintdep"
+	"repro/internal/riskcache"
+)
+
+func computes(ctx context.Context, c *riskcache.Cache[*dep.Verdict]) {
+	c.GetOrCompute(ctx, "a", dep.Gate)
+	c.GetOrCompute(ctx, "b", dep.Leak) // want `compute function can cache a degraded verdict`
+	c.GetOrCompute(ctx, "c", func() (*dep.Verdict, bool, error) {
+		return dep.Gate() // delegation to a cross-package gate
+	})
+	c.GetOrCompute(ctx, "d", func() (*dep.Verdict, bool, error) { // want `compute function can cache a degraded verdict`
+		return &dep.Verdict{}, true, nil
+	})
+	c.GetOrCompute(ctx, "e", func() (*dep.Verdict, bool, error) {
+		v, ok, err := dep.Gate()
+		return v, ok, err // forwarded from a gate call
+	})
+	c.GetOrCompute(ctx, "f", func() (*dep.Verdict, bool, error) {
+		v := &dep.Verdict{}
+		return v, !v.Degraded, nil
+	})
+	c.GetOrCompute(ctx, "g", func() (*dep.Verdict, bool, error) {
+		return nil, false, nil // never cacheable is trivially gated
+	})
+	//lint:allow cachetaint fixture: deliberately caches a degraded placeholder
+	c.GetOrCompute(ctx, "h", dep.Leak)
+}
+
+func methodGate(ctx context.Context, c *riskcache.Cache[*dep.Verdict], st dep.Store) {
+	c.GetOrCompute(ctx, "m", st.GateM)
+}
+
+func putUnguarded(c *riskcache.Cache[*dep.Verdict], v *dep.Verdict) {
+	c.Put("k", v) // want `degraded-carrying value stored with Put`
+}
+
+func putGuarded(c *riskcache.Cache[*dep.Verdict], v *dep.Verdict) {
+	if v.Degraded {
+		return
+	}
+	c.Put("k", v)
+}
+
+func snapshots(c *riskcache.Cache[*dep.Verdict], w io.Writer, r io.Reader) {
+	c.WriteSnapshot(w, encodeChecked)
+	c.WriteSnapshot(w, func(v *dep.Verdict) ([]byte, error) { // want `snapshot encoder can write a degraded verdict`
+		return []byte{byte(v.Value)}, nil
+	})
+	c.ReadSnapshot(r, func(b []byte) (*dep.Verdict, bool, error) { // want `snapshot decoder can load a degraded verdict`
+		return &dep.Verdict{Value: int(b[0])}, true, nil
+	})
+	c.ReadSnapshot(r, decodeChecked)
+}
+
+func encodeChecked(v *dep.Verdict) ([]byte, error) {
+	if v.Degraded {
+		return nil, riskcache.ErrSkipEntry
+	}
+	return []byte{byte(v.Value)}, nil
+}
+
+func decodeChecked(b []byte) (*dep.Verdict, bool, error) {
+	v := &dep.Verdict{Value: int(b[0])}
+	if v.Degraded {
+		return nil, false, nil
+	}
+	return v, true, nil
+}
+
+// nonCarrier caches plain ints: none of the sink rules apply.
+func nonCarrier(ctx context.Context, c *riskcache.Cache[int]) {
+	c.GetOrCompute(ctx, "x", func() (int, bool, error) { return 1, true, nil })
+	c.Put("y", 2)
+}

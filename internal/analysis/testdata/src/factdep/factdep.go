@@ -1,0 +1,15 @@
+// Package factdep is the dependency half of the driver's fact-propagation
+// fixture: the probe analyzer in driver_test.go exports facts on this
+// package's objects and imports them back while analyzing factuse, which
+// imports this package.
+package factdep
+
+// Provide carries the probe's plain object fact.
+func Provide() int { return 1 }
+
+// Helper exists so a method object (receiver-qualified fact path) is
+// exercised too.
+type Helper struct{}
+
+// Do carries the probe's method object fact.
+func (Helper) Do() {}

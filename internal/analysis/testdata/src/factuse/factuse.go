@@ -1,0 +1,14 @@
+// Package factuse is the dependent half of the driver's fact-propagation
+// fixture: it imports factdep, so the probe analyzer's facts on factdep's
+// objects must be importable here — through export-data object identities,
+// not source ones.
+package factuse
+
+import "repro/internal/analysis/testdata/src/factdep"
+
+// Use references both fact-carrying objects of factdep.
+func Use() int {
+	var h factdep.Helper
+	h.Do()
+	return factdep.Provide()
+}

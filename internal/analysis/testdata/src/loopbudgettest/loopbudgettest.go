@@ -1,0 +1,121 @@
+// Package loopbudgettest exercises the loopbudget nest rules: budgeted and
+// unbudgeted data-dependent nests, constant-trip exemption, depth-1
+// exemption, ctx consults, consulting helpers, and a suppressed case.
+package loopbudgettest
+
+import (
+	"context"
+
+	"repro/internal/budget"
+)
+
+func budgeted(bud *budget.Budget, rows [][]int) (sum int, err error) {
+	for _, row := range rows {
+		if err := bud.Charge(int64(len(row))); err != nil {
+			return 0, err
+		}
+		for _, v := range row {
+			sum += v
+		}
+	}
+	return sum, nil
+}
+
+func unbudgeted(rows [][]int) int { // the nest below must be flagged
+	sum := 0
+	for _, row := range rows { // want `never consults the work budget`
+		for _, v := range row {
+			sum += v
+		}
+	}
+	return sum
+}
+
+// constantTrip nests only literal bounds: no budget needed.
+func constantTrip() int {
+	sum := 0
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			sum += i * j
+		}
+	}
+	return sum
+}
+
+// mixedConstData has a constant outer loop but a data-sized inner loop:
+// the nest is data-dependent.
+func mixedConstData(xs []int) int {
+	sum := 0
+	for i := 0; i < 4; i++ { // want `never consults the work budget`
+		for _, v := range xs {
+			sum += i * v
+		}
+	}
+	return sum
+}
+
+// depthOne is a single data-dependent loop: callers charge per call.
+func depthOne(xs []int) int {
+	sum := 0
+	for _, v := range xs {
+		sum += v
+	}
+	return sum
+}
+
+func ctxChecked(ctx context.Context, rows [][]int) int {
+	sum := 0
+	for _, row := range rows {
+		if ctx.Err() != nil {
+			return sum
+		}
+		for _, v := range row {
+			sum += v
+		}
+	}
+	return sum
+}
+
+func viaHelper(w *budget.Worker, rows [][]int) (int, error) {
+	sum := 0
+	for _, row := range rows {
+		if err := chargeRow(w, row); err != nil {
+			return 0, err
+		}
+		for _, v := range row {
+			sum += v
+		}
+	}
+	return sum, nil
+}
+
+// chargeRow consults directly, so calls to it count as consults.
+func chargeRow(w *budget.Worker, row []int) error {
+	return w.Charge(int64(len(row)))
+}
+
+// closureScan's inner loop lives in a closure: the closure is its own
+// region, so neither loop forms a nest.
+func closureScan(rows [][]int) int {
+	sum := 0
+	for _, row := range rows {
+		scan := func() {
+			for _, v := range row {
+				sum += v
+			}
+		}
+		scan()
+	}
+	return sum
+}
+
+func suppressed(rows [][]int) int {
+	sum := 0
+	//lint:allow loopbudget fixture: deliberate unbudgeted nest
+	for _, row := range rows {
+		for _, v := range row {
+			sum += v
+		}
+	}
+	return sum
+}

@@ -1,0 +1,109 @@
+// Package maporderrtest exercises the maporder sinks: ordered emission,
+// channel sends, order-dependent calls, float accumulation, and the
+// collect-then-sort idiom with and without its sort.
+package maporderrtest
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+func emit(m map[string]int, w io.Writer) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `ordered sink`
+	}
+}
+
+func send(m map[int]int, ch chan int) {
+	for k := range m {
+		ch <- k // want `channel send`
+	}
+}
+
+func collectSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func collectUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `never sorted`
+	}
+	return keys
+}
+
+func floatSum(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m {
+		s += v // want `not associative`
+	}
+	return s
+}
+
+// intSum is exact in any order: integer addition is associative.
+func intSum(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// mapWrite rebuilds a map: writes keyed by the iterated key are
+// order-insensitive.
+func mapWrite(m map[string]int) map[string]int {
+	out := map[string]int{}
+	for k, v := range m {
+		out[k] = v + 1
+	}
+	return out
+}
+
+func buildWrite(m map[string]int, b *strings.Builder) {
+	for k := range m {
+		b.WriteString(k) // want `ordered sink WriteString`
+	}
+}
+
+func taintedCall(m map[string]int) {
+	for k := range m {
+		derived := k + "!"
+		process(derived) // want `call to process depends on map iteration order`
+	}
+}
+
+func process(string) {}
+
+func adjacency(m map[int]int) [][]int {
+	adj := make([][]int, 4)
+	for k, v := range m {
+		adj[k%4] = append(adj[k%4], v) // want `adj accumulates map-range values`
+	}
+	return adj
+}
+
+func adjacencySorted(m map[int]int) [][]int {
+	adj := make([][]int, 4)
+	for k, v := range m {
+		adj[k%4] = append(adj[k%4], v)
+	}
+	for i := range adj {
+		sort.Ints(adj[i])
+	}
+	return adj
+}
+
+// suppressedEmit carries a reasoned ledger entry instead of a sort.
+func suppressedEmit(m map[string]int, w io.Writer) {
+	for k := range m {
+		//lint:allow maporder fixture: emission order deliberately immaterial
+		fmt.Fprintln(w, k)
+	}
+}

@@ -80,6 +80,7 @@ func (g *Graph) Rebin(bf *belief.Function, up RebinUpdate) (changed []int, err e
 		g.GroupItems = g.GroupItems[:k]
 	}
 	g.prefix = resizeInts(g.prefix, k+1)
+	//lint:allow loopbudget partition sweep over disjoint groups is O(n) total; Rebin has no ctx and callers budget the enclosing recompute
 	for gi := fg; gi < k; gi++ {
 		grp := gr.Groups[gi]
 		g.GroupSize[gi] = len(grp.Items)

@@ -84,6 +84,7 @@ func (s *ExactSampler) Sample(rng *rand.Rand) []int {
 	match := make([]int, n)
 	rem := 1<<uint(n) - 1
 	r := new(big.Int)
+	//lint:allow loopbudget bounded n·deg with n ≤ MaxExactN per the ctxbudget allow above; the exponential cost is budgeted in NewExactSamplerCtx
 	for w := n - 1; w >= 0; w-- {
 		// Draw a uniform integer in [0, dp[rem]).
 		r.Rand(rng, s.dp[rem])

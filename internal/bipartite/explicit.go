@@ -32,6 +32,7 @@ func NewExplicit(n int, adj [][]int) (*Explicit, error) {
 	}
 	e := &Explicit{N: n, Adj: make([][]int, n)}
 	seen := make([]int, n) // seen[x] = w+1 when (w,x) already added
+	//lint:allow loopbudget one linear validation pass over the edge list, per the ctxbudget allow above
 	for w, row := range adj {
 		e.Adj[w] = append([]int(nil), row...)
 		for _, x := range row {
@@ -63,6 +64,7 @@ func MustExplicit(n int, adj [][]int) *Explicit {
 func (g *Graph) ToExplicit() *Explicit {
 	n := g.Items()
 	e := &Explicit{N: n, Adj: make([][]int, n)}
+	//lint:allow loopbudget bounded by the output edge set it allocates anyway, per the ctxbudget allow above
 	for w := 0; w < n; w++ {
 		gw := g.ItemGroup[w]
 		for x := 0; x < n; x++ {
@@ -101,6 +103,7 @@ func (e *Explicit) NumEdges() int {
 func (e *Explicit) Minor(w, x int) *Explicit {
 	m := &Explicit{N: e.N - 1, Adj: make([][]int, e.N-1)}
 	ri := 0
+	//lint:allow loopbudget straight copy of the edge list; the exponential caller (permanent) is budgeted
 	for i := 0; i < e.N; i++ {
 		if i == w {
 			continue
@@ -125,6 +128,7 @@ func (e *Explicit) Minor(w, x int) *Explicit {
 //lint:allow ctxbudget a straight copy of the edge list; the exponential caller (permanent) is budgeted
 func (e *Explicit) DeleteEdge(w, x int) *Explicit {
 	m := &Explicit{N: e.N, Adj: make([][]int, e.N)}
+	//lint:allow loopbudget straight copy of the edge list; the exponential caller (permanent) is budgeted
 	for i := 0; i < e.N; i++ {
 		for _, j := range e.Adj[i] {
 			if i == w && j == x {
@@ -158,6 +162,7 @@ func Complete(n int) *Explicit {
 //lint:allow ctxbudget test-data generator over n² coin flips, used on tiny n by property tests
 func RandomExplicit(n int, p float64, rng *rand.Rand) *Explicit {
 	e := &Explicit{N: n, Adj: make([][]int, n)}
+	//lint:allow loopbudget test-data generator over n² coin flips on tiny n, per the ctxbudget allow above
 	for w := 0; w < n; w++ {
 		for x := 0; x < n; x++ {
 			if w == x || rng.Float64() < p {
@@ -206,6 +211,7 @@ func (e *Explicit) MaximumMatchingCtx(ctx context.Context) (int, []int, []int, e
 			}
 		}
 		found := false
+		//lint:allow loopbudget the phase loop below charges phaseCost (every edge) per bfs/dfs phase; charging inside would double-count
 		for qi := 0; qi < len(queue); qi++ {
 			w := queue[qi]
 			for _, x := range e.Adj[w] {

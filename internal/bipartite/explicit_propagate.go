@@ -34,6 +34,9 @@ func (e *Explicit) PropagateCtx(ctx context.Context) (*Propagation, error) {
 	// Reverse adjacency for the right side.
 	radj := make([][]int, n)
 	for w := 0; w < n; w++ {
+		if err := bud.Check(); err != nil {
+			return nil, err
+		}
 		aliveL[w] = true
 		aliveR[w] = true
 		degL[w] = len(e.Adj[w])
@@ -128,6 +131,9 @@ func (e *Explicit) PropagateCtx(ctx context.Context) (*Propagation, error) {
 
 	res.Rounds = 1 // worklist formulation: a single logical pass to fixpoint
 	for x := 0; x < n; x++ {
+		if err := bud.Check(); err != nil {
+			return nil, err
+		}
 		if matchedR[x] {
 			continue
 		}

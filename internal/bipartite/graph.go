@@ -63,6 +63,7 @@ func Build(bf *belief.Function, gr *dataset.Grouping) (*Graph, error) {
 		ItemHi:     make([]int, n),
 		prefix:     make([]int, k+1),
 	}
+	//lint:allow loopbudget partition sweep over disjoint groups is O(n) total, per the ctxbudget allow above
 	for gi, grp := range gr.Groups {
 		g.GroupSize[gi] = len(grp.Items)
 		g.GroupItems[gi] = append([]int(nil), grp.Items...)

@@ -148,6 +148,7 @@ func restrictedCount(e *bipartite.Explicit, S []int) (*big.Int, error) {
 		return big.NewInt(1), nil
 	}
 	adj := make([][]int, m)
+	//lint:allow loopbudget linear minor construction feeding CountPerfectMatchings, which budgets the exponential part
 	for w := 0; w < e.N; w++ {
 		if inS[w] {
 			continue

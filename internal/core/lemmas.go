@@ -57,6 +57,7 @@ func ExpectedCracksPointValuedSubset(gr *dataset.Grouping, interest []bool) (flo
 		return 0, fmt.Errorf("core: interest mask has %d entries, want %d", len(interest), gr.NumItems())
 	}
 	total := 0.0
+	//lint:allow loopbudget partition sweep over disjoint groups is O(n) total, per the ctxbudget allow above
 	for _, g := range gr.Groups {
 		c := 0
 		for _, x := range g.Items {

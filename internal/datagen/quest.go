@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"repro/internal/dataset"
 )
@@ -65,6 +66,9 @@ func Quest(cfg QuestConfig, rng *rand.Rand) (*dataset.Database, error) {
 		for x := range seen {
 			patterns[i] = append(patterns[i], x)
 		}
+		// Map order would otherwise leak into the pattern layout: the same
+		// seed must generate byte-identical datasets run to run.
+		sort.Slice(patterns[i], func(a, b int) bool { return patterns[i][a] < patterns[i][b] })
 	}
 	// Zipf popularity weights.
 	weights := make([]float64, cfg.Patterns)
@@ -105,6 +109,7 @@ func Quest(cfg QuestConfig, rng *rand.Rand) (*dataset.Database, error) {
 		for x := range items {
 			tx = append(tx, x)
 		}
+		sort.Slice(tx, func(a, b int) bool { return tx[a] < tx[b] })
 		txs = append(txs, tx)
 	}
 	return dataset.New(cfg.Items, txs)

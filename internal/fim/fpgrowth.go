@@ -163,7 +163,15 @@ func pruneTree(t *fpTree, minSupport int) *fpTree {
 	out := newFPTree()
 	var walk func(node *fpNode, path []dataset.Item)
 	walk = func(node *fpNode, path []dataset.Item) {
-		for _, child := range node.children {
+		// Children live in a map; visit them in item order so the rebuilt
+		// tree's header chains (and hence mining order) are deterministic.
+		items := make([]dataset.Item, 0, len(node.children))
+		for it := range node.children {
+			items = append(items, it)
+		}
+		sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
+		for _, it := range items {
+			child := node.children[it]
 			p := path
 			if keep[child.item] {
 				p = append(append([]dataset.Item(nil), path...), child.item)

@@ -132,6 +132,17 @@ func RefineCtx(ctx context.Context, ft *dataset.FrequencyTable, pairs *PairTable
 		adj[x] = append(adj[x], [2]int{y, c})
 		adj[y] = append(adj[y], [2]int{x, c})
 	}
+	// The counts map iterates in random order; canonicalize each adjacency
+	// list so signature construction sees one layout per input, not one per
+	// process.
+	for x := range adj {
+		sort.Slice(adj[x], func(i, j int) bool {
+			if adj[x][i][0] != adj[x][j][0] {
+				return adj[x][i][0] < adj[x][j][0]
+			}
+			return adj[x][i][1] < adj[x][j][1]
+		})
+	}
 
 	bud := budget.New(ctx, budget.Config{})
 	if err := bud.Check(); err != nil {

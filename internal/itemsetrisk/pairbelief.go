@@ -86,6 +86,7 @@ func PruneWithPairBeliefsCtx(ctx context.Context, g *bipartite.Explicit, pairs *
 				if w2 == w {
 					continue // a 1-1 mapping cannot reuse w
 				}
+				//lint:allow maporder existential scan of a pure predicate: any witness order yields the same boolean
 				if pb.Iv.Contains(float64(pairs.Support(w, w2)) / m) {
 					ok = true
 					break
@@ -109,6 +110,7 @@ func PruneWithPairBeliefsCtx(ctx context.Context, g *bipartite.Explicit, pairs *
 				if err := bud.Charge(int64(len(perItem[x]) + 1)); err != nil {
 					return nil, 0, fmt.Errorf("itemsetrisk: pair-belief pruning: %w", err)
 				}
+				//lint:allow maporder monotone pruning to a unique fixed point: deletions commute, so visit order cannot change the result
 				if !supported(x, w) {
 					delete(cand[x], w)
 					removed++

@@ -181,6 +181,7 @@ func (s *Sampler) reseed() {
 	if s.identitySeed {
 		// Shuffle within each frequency group; every such matching is
 		// consistent because an item's own group always lies in its range.
+		//lint:allow loopbudget one O(n) shuffle per seed as documented above; simulateRun charges per sweep
 		for _, group := range s.g.GroupItems {
 			for i := len(group) - 1; i > 0; i-- {
 				j := int(s.rng.Uintn(uint64(i + 1)))

@@ -320,6 +320,7 @@ func (s *Server) broadcast(baseDigest string, resp *DeltaResponse) {
 		}
 		sub.digests[resp.Digest] = true
 		select {
+		//lint:allow maporder subscriber streams are independent; cross-subscriber delivery order is not part of the stream contract
 		case sub.ch <- resp:
 			s.subEvents.Add(1)
 		default:
