@@ -10,6 +10,7 @@ import (
 	"repro/internal/anonymize"
 	"repro/internal/belief"
 	"repro/internal/bipartite"
+	"repro/internal/bitset"
 	"repro/internal/budget"
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -372,10 +373,16 @@ func AttackSubsetCtx(ctx context.Context, bf *BeliefFunction, db *Database, inte
 	defer recoverToError("AttackSubset", &err)
 	ft := db.Table()
 	rep = AttackReport{Items: ft.NItems, Method: MethodOEstimate}
-	oe, err := core.OEstimateCtx(ctx, bf, ft, core.OEOptions{Propagate: true, Interest: interest})
+	// The facade keeps its []bool signature; the kernels take packed words.
+	// A nil interest slice means "count every item", the kernels' zero Set.
+	var marked bitset.Set
+	if interest != nil {
+		marked = bitset.FromBools(interest)
+	}
+	oe, err := core.OEstimateCtx(ctx, bf, ft, core.OEOptions{Propagate: true, Interest: marked})
 	if errors.Is(err, bipartite.ErrInfeasible) {
 		rep.Infeasible = true
-		oe, err = core.OEstimateCtx(ctx, bf, ft, core.OEOptions{Interest: interest})
+		oe, err = core.OEstimateCtx(ctx, bf, ft, core.OEOptions{Interest: marked})
 	}
 	if err != nil {
 		return rep, err

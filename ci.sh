@@ -5,13 +5,21 @@
 #   ./ci.sh -short   same, with -short tests plus brief fuzz runs of the
 #                    two parser fuzzers against their committed corpora
 #   ./ci.sh -bench   additionally run the parallel-engine benchmarks at
-#                    GOMAXPROCS=1 and GOMAXPROCS=nproc and emit
-#                    BENCH_parallel.json (one run object per gomaxprocs
-#                    with ns/op and speedup vs serial per worker count)
+#                    GOMAXPROCS=1 and GOMAXPROCS=nproc plus the kernel
+#                    microbenchmarks (bitset O-estimate scan vs the boolean
+#                    loop it replaced) and emit BENCH_parallel.json (one run
+#                    object per gomaxprocs with ns/op and speedup vs serial
+#                    per worker count, a microbenchmarks section, and — on
+#                    single-core machines — a flat_parallel_warning note)
 #                    to track the perf trajectory
 #   ./ci.sh -serve   additionally run the riskd serving smoke test
 #                    (ephemeral port, health probe, assess round-trip,
 #                    cached repeat, clean shutdown)
+#   ./ci.sh -serve-bench  additionally run cmd/riskbench against a
+#                    self-hosted riskd — four deterministic traffic mixes
+#                    (hot_digest, cold_digest, delta, degraded), fixed seed —
+#                    and emit BENCH_serve.json (p50/p99 latency, throughput,
+#                    and a workload digest per mix)
 #   ./ci.sh -lint    additionally run staticcheck and govulncheck when they
 #                    are installed (each is skipped with a notice otherwise;
 #                    this container has no network to fetch them)
@@ -45,14 +53,16 @@
 # escape-analysis gate: kernel heap escapes must match the committed
 # baseline, in both directions (new escapes and stale entries both fail).
 #
-# Flags combine in any order: ./ci.sh -short -bench -serve -lint -chaos
-# -registry -delta -escape-update. Exits non-zero on the first failure.
+# Flags combine in any order: ./ci.sh -short -bench -serve -serve-bench
+# -lint -chaos -registry -delta -escape-update. Exits non-zero on the first
+# failure.
 set -eu
 cd "$(dirname "$0")"
 
 short=""
 bench=""
 serve=""
+serve_bench=""
 lint=""
 chaos=""
 registry=""
@@ -63,6 +73,7 @@ for arg in "$@"; do
 	-short) short="-short" ;;
 	-bench) bench="yes" ;;
 	-serve) serve="yes" ;;
+	-serve-bench) serve_bench="yes" ;;
 	-lint) lint="yes" ;;
 	-chaos) chaos="yes" ;;
 	-registry) registry="yes" ;;
@@ -70,7 +81,7 @@ for arg in "$@"; do
 	-escape-update) escape_update="yes" ;;
 	*)
 		echo "ci.sh: unknown flag: $arg" >&2
-		echo "usage: ./ci.sh [-short] [-bench] [-serve] [-lint] [-chaos] [-registry] [-delta] [-escape-update]" >&2
+		echo "usage: ./ci.sh [-short] [-bench] [-serve] [-serve-bench] [-lint] [-chaos] [-registry] [-delta] [-escape-update]" >&2
 		exit 2
 		;;
 	esac
@@ -131,16 +142,48 @@ if [ -n "$bench" ]; then
 	# than trusting the environment or nproc.
 	nproc_val="$(nproc 2>/dev/null || echo 1)"
 	gmps="1"
+	note=""
 	if [ "$nproc_val" -gt 1 ]; then
 		gmps="1 $nproc_val"
+	else
+		note="flat_parallel_warning: single-core machine — every worker count shares one core, so speedup_vs_serial is ~1.0 at all widths by construction; only the serial ns_per_op trajectory is meaningful here"
 	fi
-	printf '{\n  "machine_nproc": %s,\n  "runs": [' "$nproc_val" >BENCH_parallel.tmp
+	printf '{\n  "machine_nproc": %s,\n' "$nproc_val" >BENCH_parallel.tmp
+	if [ -n "$note" ]; then
+		printf '  "note": "%s",\n' "$note" >>BENCH_parallel.tmp
+	fi
+	# Kernel microbenchmarks: the word-parallel O-estimate scan vs the
+	# historical boolean loop it replaced, recorded with the bitset kernel's
+	# speedup so the perf trajectory pins the win (target: >= 2x).
+	echo "-- kernel microbenchmarks --"
+	go test -run '^$' -bench 'BenchmarkOEstimateScan' -benchtime 2s ./internal/core/ |
+		tee BENCH_micro.txt |
+		awk '
+		/^BenchmarkOEstimateScan\// {
+			split($1, parts, "/")
+			impl = parts[2]
+			sub(/-[0-9]+$/, "", impl)
+			ns[impl] = $3 + 0
+		}
+		END {
+			if (!("impl=bitset" in ns) || !("impl=bools" in ns)) {
+				print "ci.sh: no microbenchmark output to parse" > "/dev/stderr"
+				exit 1
+			}
+			sp = ns["impl=bitset"] > 0 ? ns["impl=bools"] / ns["impl=bitset"] : 0
+			printf "  \"microbenchmarks\": {\n"
+			printf "    \"OEstimateScan\": {\n"
+			printf "      \"impl=bools\": {\"ns_per_op\": %.0f},\n", ns["impl=bools"]
+			printf "      \"impl=bitset\": {\"ns_per_op\": %.0f, \"speedup_vs_bools\": %.3f}\n", ns["impl=bitset"], sp
+			printf "    }\n  },\n"
+		}' >>BENCH_parallel.tmp
+	printf '  "runs": [' >>BENCH_parallel.tmp
 	first_run=1
 	for gmp in $gmps; do
 		[ "$first_run" -eq 1 ] || printf ',' >>BENCH_parallel.tmp
 		first_run=0
 		echo "-- GOMAXPROCS=$gmp --"
-		GOMAXPROCS=$gmp go test -run '^$' -bench 'BenchmarkSamplerParallel|BenchmarkCurveParallel' -benchtime 1s . |
+		GOMAXPROCS=$gmp go test -run '^$' -bench 'BenchmarkSamplerParallel|BenchmarkCurveParallel' -benchtime 2s . |
 			tee BENCH_parallel.txt |
 			awk '
 			/^Benchmark(Sampler|Curve)Parallel\// {
@@ -180,13 +223,22 @@ if [ -n "$bench" ]; then
 	done
 	printf '\n  ]\n}\n' >>BENCH_parallel.tmp
 	mv BENCH_parallel.tmp BENCH_parallel.json
-	rm -f BENCH_parallel.txt
+	rm -f BENCH_parallel.txt BENCH_micro.txt
 	echo "wrote BENCH_parallel.json"
 fi
 
 if [ -n "$serve" ]; then
 	echo "== riskd serving smoke test =="
 	go run ./cmd/riskd -selfcheck
+fi
+
+if [ -n "$serve_bench" ]; then
+	echo "== serving benchmark (cmd/riskbench, self-hosted riskd) =="
+	# Fixed (seed, requests): each mix's workload digest in the output is a
+	# pure function of these, so consecutive runs replay identical work and
+	# the latency/throughput numbers are comparable run over run.
+	go run ./cmd/riskbench -requests 200 -concurrency 4 -seed 1 -o BENCH_serve.json
+	echo "wrote BENCH_serve.json"
 fi
 
 if [ -n "$chaos" ]; then

@@ -1,0 +1,166 @@
+// Command riskbench replays deterministic traffic mixes (internal/loadgen)
+// against a riskd and reports p50/p99 latency and throughput per mix as
+// JSON. With -addr it targets an already-running service; without, it
+// self-hosts one in-process on an ephemeral localhost port (the same
+// configuration surface as riskd), so `riskbench -o BENCH_serve.json` is a
+// one-command serving benchmark.
+//
+// Usage:
+//
+//	riskbench [-addr url] [-mixes hot_digest,cold_digest,delta,degraded]
+//	          [-requests 200] [-concurrency 4] [-seed 1]
+//	          [-timeout 30s] [-max-work n] [-workers n] [-cache-entries 256]
+//	          [-o file]
+//
+// Every mix is a pure function of (seed, requests): the report carries a
+// workload digest per mix, and two runs with equal digests replayed
+// byte-identical request streams. ci.sh -serve-bench runs this and commits
+// the result as BENCH_serve.json.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/loadgen"
+	"repro/internal/server"
+)
+
+// report is the BENCH_serve.json schema.
+type report struct {
+	Tool         string                     `json:"tool"`
+	Seed         int64                      `json:"seed"`
+	Requests     int                        `json:"requests"`
+	Concurrency  int                        `json:"concurrency"`
+	MachineNproc int                        `json:"machine_nproc"`
+	Gomaxprocs   int                        `json:"gomaxprocs"`
+	SelfHosted   bool                       `json:"self_hosted"`
+	Mixes        map[string]*loadgen.Result `json:"mixes"`
+}
+
+func main() {
+	addr := flag.String("addr", "", "base URL of a running riskd (empty: self-host in-process)")
+	mixes := flag.String("mixes", strings.Join(loadgen.Mixes, ","), "comma-separated traffic mixes to replay")
+	requests := flag.Int("requests", 200, "requests per mix")
+	concurrency := flag.Int("concurrency", 4, "in-flight requests (the delta mix is chained and always sequential)")
+	seed := flag.Int64("seed", 1, "workload seed: same (seed, requests) replays the identical stream")
+	timeout := flag.Duration("timeout", 30*time.Second, "self-hosted server's per-request budget (0 = unlimited)")
+	maxWork := flag.Int64("max-work", 0, "self-hosted server's operation-count budget (0 = unlimited)")
+	workers := flag.Int("workers", 0, "self-hosted server's workers per assessment (0 = GOMAXPROCS)")
+	cacheEntries := flag.Int("cache-entries", 256, "self-hosted server's cache capacity")
+	out := flag.String("o", "", "write the JSON report to this file (empty: stdout)")
+	flag.Parse()
+
+	if err := run(*addr, *mixes, *requests, *concurrency, *seed, *timeout, *maxWork, *workers, *cacheEntries, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "riskbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, mixList string, requests, concurrency int, seed int64, timeout time.Duration, maxWork int64, workers, cacheEntries int, out string) error {
+	base := addr
+	var shutdown func() error
+	if base == "" {
+		var err error
+		base, shutdown, err = selfHost(server.Config{
+			Timeout:      timeout,
+			MaxOps:       maxWork,
+			Workers:      workers,
+			CacheEntries: cacheEntries,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "riskbench: self-hosting riskd on %s\n", base)
+	}
+
+	rep := &report{
+		Tool:         "riskbench",
+		Seed:         seed,
+		Requests:     requests,
+		Concurrency:  concurrency,
+		MachineNproc: runtime.NumCPU(),
+		Gomaxprocs:   runtime.GOMAXPROCS(0),
+		SelfHosted:   shutdown != nil,
+		Mixes:        map[string]*loadgen.Result{},
+	}
+	client := &http.Client{Timeout: 2 * time.Minute}
+	var runErr error
+	for _, mix := range strings.Split(mixList, ",") {
+		mix = strings.TrimSpace(mix)
+		if mix == "" {
+			continue
+		}
+		res, err := loadgen.Run(context.Background(), loadgen.Config{
+			BaseURL:     base,
+			Mix:         mix,
+			Requests:    requests,
+			Concurrency: concurrency,
+			Seed:        seed,
+			Client:      client,
+		})
+		if err != nil {
+			runErr = err
+			break
+		}
+		rep.Mixes[mix] = res
+		fmt.Fprintf(os.Stderr,
+			"riskbench: %-12s %4d req  p50 %8.2fms  p99 %8.2fms  %7.1f req/s  (cached %d, degraded %d, throttled %d, incremental %d, errors %d)\n",
+			mix, res.Answered, res.P50MS, res.P99MS, res.ThroughputRPS,
+			res.Cached+res.Coalesced, res.Degraded, res.Throttled, res.Incremental, res.Errors)
+		if res.Errors > 0 && runErr == nil {
+			runErr = fmt.Errorf("mix %s: %d transport errors (first: %s)", mix, res.Errors, res.ErrorSample)
+		}
+	}
+	if shutdown != nil {
+		if err := shutdown(); err != nil && runErr == nil {
+			runErr = err
+		}
+	}
+	if runErr != nil {
+		return runErr
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if out == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(out, data, 0o644)
+}
+
+// selfHost starts a riskd handler on an ephemeral localhost port and returns
+// its base URL plus a clean shutdown.
+func selfHost(cfg server.Config) (string, func() error, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: server.New(cfg).Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	shutdown := func() error {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			return err
+		}
+		if err := <-errc; err != nil && err != http.ErrServerClosed {
+			return err
+		}
+		return nil
+	}
+	return "http://" + ln.Addr().String(), shutdown, nil
+}

@@ -127,6 +127,16 @@ func (g *Graph) Rebin(bf *belief.Function, up RebinUpdate) (changed []int, err e
 			g.candBase[x] = g.prefix[lo]
 			g.candSpan[x] = g.prefix[hi+1] - g.prefix[lo]
 		}
+		if g.Compliant(x) {
+			g.compliant.Add(x)
+		} else {
+			g.compliant.Remove(x)
+		}
+		if g.candSpan[x] > 0 {
+			g.invSpan[x] = 1 / float64(g.candSpan[x])
+		} else {
+			g.invSpan[x] = 0
+		}
 		if g.candSpan[x] != oldSpan[x] || g.Compliant(x) != oldCompliant[x] {
 			changed = append(changed, x)
 		}

@@ -62,6 +62,12 @@ func graphEqual(t *testing.T, got, want *Graph) {
 		t.Fatalf("candidate windows diverged\n got base=%v span=%v\nwant base=%v span=%v",
 			got.candBase, got.candSpan, want.candBase, want.candSpan)
 	}
+	if !got.compliant.Equal(want.compliant) {
+		t.Fatalf("compliance words diverged\n got %v\nwant %v", got.compliant.Bools(), want.compliant.Bools())
+	}
+	if !reflect.DeepEqual(got.invSpan, want.invSpan) {
+		t.Fatalf("outdegree reciprocals diverged\n got %v\nwant %v", got.invSpan, want.invSpan)
+	}
 }
 
 // TestRebinMatchesBuild is the structural half of the delta-equivalence

@@ -15,7 +15,7 @@ import (
 // row w is matched left to right, choosing column x with probability
 // proportional to the number of completions dp[remaining \ {x}]. It is the
 // sample-level ground truth the MCMC sampler is validated against; the table
-// costs O(2^n) memory, so n ≤ MaxExactN.
+// costs O(2^n) memory, so n ≤ MaxExactTableN.
 type ExactSampler struct {
 	e  *Explicit
 	dp []*big.Int
@@ -31,8 +31,8 @@ func NewExactSampler(e *Explicit) (*ExactSampler, error) {
 // per dp entry, so building the O(2^n) table — the single most expensive
 // allocation in the exact tier — respects deadlines and operation limits.
 func NewExactSamplerCtx(ctx context.Context, e *Explicit) (*ExactSampler, error) {
-	if e.N > MaxExactN {
-		return nil, fmt.Errorf("bipartite: exact sampling needs n <= %d, got %d", MaxExactN, e.N)
+	if e.N > MaxExactTableN {
+		return nil, fmt.Errorf("bipartite: exact sampling needs n <= %d, got %d", MaxExactTableN, e.N)
 	}
 	bud := budget.New(ctx, budget.Config{})
 	if err := bud.Check(); err != nil {
@@ -78,13 +78,13 @@ func (s *ExactSampler) Count() *big.Int {
 // dp[rem ^ bit(x)] / dp[rem] yields the exact uniform distribution by the
 // chain rule.
 //
-//lint:allow ctxbudget a draw is at most n·deg big-int steps with n ≤ MaxExactN; the 2^n cost lives in NewExactSamplerCtx
+//lint:allow ctxbudget a draw is at most n·deg big-int steps with n ≤ MaxExactTableN; the 2^n cost lives in NewExactSamplerCtx
 func (s *ExactSampler) Sample(rng *rand.Rand) []int {
 	n := s.e.N
 	match := make([]int, n)
 	rem := 1<<uint(n) - 1
 	r := new(big.Int)
-	//lint:allow loopbudget bounded n·deg with n ≤ MaxExactN per the ctxbudget allow above; the exponential cost is budgeted in NewExactSamplerCtx
+	//lint:allow loopbudget bounded n·deg with n ≤ MaxExactTableN per the ctxbudget allow above; the exponential cost is budgeted in NewExactSamplerCtx
 	for w := n - 1; w >= 0; w-- {
 		// Draw a uniform integer in [0, dp[rem]).
 		r.Rand(rng, s.dp[rem])

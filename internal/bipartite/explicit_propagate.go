@@ -3,7 +3,9 @@ package bipartite
 import (
 	"context"
 	"fmt"
+	"math/bits"
 
+	"repro/internal/bitset"
 	"repro/internal/budget"
 )
 
@@ -19,35 +21,46 @@ func (e *Explicit) Propagate() (*Propagation, error) {
 }
 
 // PropagateCtx is Propagate under a work budget: one operation per worklist
-// pop (each pop rescans one vertex's adjacency), so a pathological cascade
-// over a dense explicit graph can be cut off by a deadline or op limit.
+// pop, so a pathological cascade over a dense explicit graph can be cut off
+// by a deadline or op limit.
+//
+// The sweeps run word-parallel (DESIGN.md §16): the adjacency is packed into
+// row and column bit matrices, the alive sets into word vectors, and every
+// degree rescan is an AND+popcount over ⌈n/64⌉ words instead of a branch per
+// edge. Stride indexing keeps each vertex's row contiguous, so a rescan is a
+// straight-line word loop.
 func (e *Explicit) PropagateCtx(ctx context.Context) (*Propagation, error) {
 	n := e.N
 	bud := budget.New(ctx, budget.Config{})
 	if err := bud.Check(); err != nil {
 		return nil, err
 	}
-	aliveL := make([]bool, n) // anonymized side
-	aliveR := make([]bool, n) // original side
+	nw := bitset.WordsFor(n)
+	// rowBits[w*nw : (w+1)*nw] packs Adj[w] over right vertices; colBits is
+	// the transpose. aliveL/aliveR start full.
+	rowBits := make([]uint64, n*nw)
+	colBits := make([]uint64, n*nw)
+	aliveL := bitset.New(n)
+	aliveR := bitset.New(n)
+	aliveL.Fill()
+	aliveR.Fill()
+	alW, arW := aliveL.Words(), aliveR.Words()
 	degL := make([]int, n)
 	degR := make([]int, n)
-	// Reverse adjacency for the right side.
-	radj := make([][]int, n)
 	for w := 0; w < n; w++ {
 		if err := bud.Check(); err != nil {
 			return nil, err
 		}
-		aliveL[w] = true
-		aliveR[w] = true
 		degL[w] = len(e.Adj[w])
+		row := rowBits[w*nw : (w+1)*nw]
 		for _, x := range e.Adj[w] {
-			radj[x] = append(radj[x], w)
+			row[x>>6] |= 1 << uint(x&63)
+			colBits[x*nw+(w>>6)] |= 1 << uint(w&63)
 			degR[x]++
 		}
 	}
 	res := &Propagation{Outdeg: make([]int, n)}
-	matchedL := make([]bool, n)
-	matchedR := make([]bool, n)
+	matchedR := bitset.New(n)
 
 	queue := make([]int, 0, 2*n) // encoded: w for left, n+x for right
 	for v := 0; v < n; v++ {
@@ -59,23 +72,46 @@ func (e *Explicit) PropagateCtx(ctx context.Context) (*Propagation, error) {
 		}
 	}
 
+	// countAlive rescans one packed row against an alive vector: total
+	// popcount and, for the degree-1 case the caller acts on, the unique
+	// surviving neighbour.
+	countAlive := func(row, alive []uint64) (d, last int) {
+		last = -1
+		for k, rw := range row {
+			if m := rw & alive[k]; m != 0 {
+				d += bits.OnesCount64(m)
+				last = k<<6 + bits.TrailingZeros64(m)
+			}
+		}
+		return d, last
+	}
+
 	force := func(w, x int) {
 		res.Forced = append(res.Forced, ForcedPair{Anon: w, Item: x})
 		res.Outdeg[x] = 1
-		aliveL[w] = false
-		aliveR[x] = false
-		matchedL[w] = true
-		matchedR[x] = true
-		for _, y := range e.Adj[w] {
-			if aliveR[y] {
+		aliveL.Remove(w)
+		aliveR.Remove(x)
+		matchedR.Add(x)
+		row := rowBits[w*nw : (w+1)*nw]
+		//lint:allow loopbudget amortized O(1) per edge: each neighbour's degree drops at most once per forced pair across the whole fixpoint, and the queue loop charges per pop
+		for k, rw := range row {
+			m := rw & arW[k]
+			base := k << 6
+			for ; m != 0; m &= m - 1 {
+				y := base + bits.TrailingZeros64(m)
 				degR[y]--
 				if degR[y] <= 1 {
 					queue = append(queue, n+y)
 				}
 			}
 		}
-		for _, v := range radj[x] {
-			if aliveL[v] {
+		col := colBits[x*nw : (x+1)*nw]
+		//lint:allow loopbudget amortized O(1) per edge: same argument as the row sweep above
+		for k, cw := range col {
+			m := cw & alW[k]
+			base := k << 6
+			for ; m != 0; m &= m - 1 {
+				v := base + bits.TrailingZeros64(m)
 				degL[v]--
 				if degL[v] <= 1 {
 					queue = append(queue, v)
@@ -92,16 +128,10 @@ func (e *Explicit) PropagateCtx(ctx context.Context) (*Propagation, error) {
 		queue = queue[1:]
 		if enc < n {
 			w := enc
-			if !aliveL[w] {
+			if !aliveL.Contains(w) {
 				continue
 			}
-			d, last := 0, -1
-			for _, x := range e.Adj[w] {
-				if aliveR[x] {
-					d++
-					last = x
-				}
-			}
+			d, last := countAlive(rowBits[w*nw:(w+1)*nw], arW)
 			if d == 0 {
 				return nil, ErrInfeasible
 			}
@@ -110,16 +140,10 @@ func (e *Explicit) PropagateCtx(ctx context.Context) (*Propagation, error) {
 			}
 		} else {
 			x := enc - n
-			if !aliveR[x] {
+			if !aliveR.Contains(x) {
 				continue
 			}
-			d, last := 0, -1
-			for _, w := range radj[x] {
-				if aliveL[w] {
-					d++
-					last = w
-				}
-			}
+			d, last := countAlive(colBits[x*nw:(x+1)*nw], alW)
 			if d == 0 {
 				return nil, ErrInfeasible
 			}
@@ -134,15 +158,10 @@ func (e *Explicit) PropagateCtx(ctx context.Context) (*Propagation, error) {
 		if err := bud.Check(); err != nil {
 			return nil, err
 		}
-		if matchedR[x] {
+		if matchedR.Contains(x) {
 			continue
 		}
-		d := 0
-		for _, w := range radj[x] {
-			if aliveL[w] {
-				d++
-			}
-		}
+		d, _ := countAlive(colBits[x*nw:(x+1)*nw], alW)
 		res.Outdeg[x] = d
 	}
 	return res, nil

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/belief"
+	"repro/internal/bitset"
 	"repro/internal/dataset"
 )
 
@@ -41,6 +42,15 @@ type Graph struct {
 	flat     []int
 	candBase []int
 	candSpan []int
+
+	// Word-packed kernels (DESIGN.md §16): compliant has bit x set when
+	// Compliant(x), so the O-estimate scans 64 items per load; invSpan[x] is
+	// the reciprocal 1/candSpan[x] (0 for empty ranges), precomputed so the
+	// scan's float adds skip the per-item division. Both are derived state:
+	// Build fills them and Rebin keeps them consistent, exactly like the flat
+	// candidate layout.
+	compliant bitset.Set
+	invSpan   []float64
 }
 
 // Build constructs the graph from a belief function and the grouping of the
@@ -91,6 +101,16 @@ func Build(bf *belief.Function, gr *dataset.Grouping) (*Graph, error) {
 		}
 		g.candBase[x] = g.prefix[lo]
 		g.candSpan[x] = g.prefix[hi+1] - g.prefix[lo]
+	}
+	g.compliant = bitset.New(n)
+	g.invSpan = make([]float64, n)
+	for x := 0; x < n; x++ {
+		if g.Compliant(x) {
+			g.compliant.Add(x)
+		}
+		if g.candSpan[x] > 0 {
+			g.invSpan[x] = 1 / float64(g.candSpan[x])
+		}
 	}
 	return g, nil
 }
@@ -190,6 +210,19 @@ func (g *Graph) OutdegreePrefix(gi int) int { return g.prefix[gi] }
 func (g *Graph) Candidates(x int) []int {
 	return g.flat[g.candBase[x] : g.candBase[x]+g.candSpan[x]]
 }
+
+// ComplianceSet returns the word-packed set {x : Compliant(x)}, shared with
+// the graph and read-only for callers. The O-estimate kernels AND its words
+// against their masks and walk set bits with math/bits.TrailingZeros64
+// instead of testing items one branch at a time.
+func (g *Graph) ComplianceSet() bitset.Set { return g.compliant }
+
+// OutdegreeReciprocals returns the precomputed per-item 1/O_x vector
+// (0 where O_x = 0), shared with the graph and read-only for callers.
+// 1/float64(O_x) is computed once here with the very operation the scans
+// historically performed per visit, so sums over it are bit-for-bit equal to
+// the division-per-item loops it replaces.
+func (g *Graph) OutdegreeReciprocals() []float64 { return g.invSpan }
 
 // CandidateLayout exposes the flat candidate arrays to the sampler kernel:
 // flat is the group-ordered concatenation of GroupItems, and item x's

@@ -11,13 +11,19 @@ import (
 
 // MaxExactN caps the size of graphs accepted by the exact counting
 // routines. Counting perfect matchings is #P-complete (Valiant 1979, [25] in
-// the paper); the subset-DP used here costs O(2^n · n) big-integer additions,
-// which is practical to about n = 24.
-const MaxExactN = 24
+// the paper); the Gray-code Ryser kernel (ryser.go) costs O(2^n · n) machine
+// words and O(n) memory, which is practical to about n = 30.
+const MaxExactN = 30
+
+// MaxExactTableN caps the algorithms that materialize the O(2^n) subset-DP
+// table of big.Ints (edge-inclusion probabilities, the exact sampler): past
+// ~24 the table alone dominates a serving process's memory, even though the
+// O(n)-memory Ryser counting continues to n = MaxExactN.
+const MaxExactTableN = 24
 
 // CountPerfectMatchings returns the number of perfect matchings of the graph
-// — the permanent of its biadjacency matrix — computed exactly by dynamic
-// programming over subsets of right vertices. It returns an error when
+// — the permanent of its biadjacency matrix — computed exactly by Ryser's
+// formula with Gray-code subset updates (ryser.go). It returns an error when
 // e.N > MaxExactN.
 func (e *Explicit) CountPerfectMatchings() (*big.Int, error) {
 	return e.CountPerfectMatchingsCtx(context.Background())
@@ -25,7 +31,7 @@ func (e *Explicit) CountPerfectMatchings() (*big.Int, error) {
 
 // CountPerfectMatchingsCtx is CountPerfectMatchings under a work budget: the
 // context's deadline and any budget.WithMaxOps operation limit are checked
-// once per budget window of DP states, so cancellation aborts the
+// once per budget window of Gray-code steps, so cancellation aborts the
 // exponential computation promptly instead of hanging a serving process.
 func (e *Explicit) CountPerfectMatchingsCtx(ctx context.Context) (*big.Int, error) {
 	if e.N > MaxExactN {
@@ -35,7 +41,7 @@ func (e *Explicit) CountPerfectMatchingsCtx(ctx context.Context) (*big.Int, erro
 	if err := bud.Check(); err != nil {
 		return nil, err
 	}
-	return e.countPerfectMatchings(bud)
+	return e.countPerfectMatchingsRyser(bud, nil)
 }
 
 // Permanent is an alias for CountPerfectMatchings, matching the paper's
@@ -56,10 +62,13 @@ func (e *Explicit) EdgeInclusionProbability() ([][]float64, error) {
 
 // EdgeInclusionProbabilityCtx is EdgeInclusionProbability under a work
 // budget. The n+1 subset DPs it runs share one budget, so an operation limit
-// bounds the whole computation, not each table.
+// bounds the whole computation, not each table. Because each DP materializes
+// a 2^n table, n is capped at MaxExactTableN, tighter than the MaxExactN the
+// table-free counting routines accept; callers that only need the diagonal
+// should use DiagonalMatchingCountsCtx, which runs to MaxExactN.
 func (e *Explicit) EdgeInclusionProbabilityCtx(ctx context.Context) ([][]float64, error) {
-	if e.N > MaxExactN {
-		return nil, fmt.Errorf("bipartite: exact count needs n <= %d, got %d", MaxExactN, e.N)
+	if e.N > MaxExactTableN {
+		return nil, fmt.Errorf("bipartite: exact count needs n <= %d, got %d", MaxExactTableN, e.N)
 	}
 	bud := budget.New(ctx, budget.Config{})
 	if err := bud.Check(); err != nil {
@@ -88,8 +97,11 @@ func (e *Explicit) EdgeInclusionProbabilityCtx(ctx context.Context) ([][]float64
 	return out, nil
 }
 
-// countPerfectMatchings is the budgeted DP core shared by the Ctx entry
-// points; bud may be nil for unbudgeted use.
+// countPerfectMatchings is the budgeted subset-DP permanent. The serving
+// path counts with the Gray-code Ryser kernel instead; the DP survives as
+// the independent oracle the Ryser kernel is pinned against (ryser_test.go)
+// and as the shared building block of the table-based routines below. bud
+// may be nil for unbudgeted use.
 func (e *Explicit) countPerfectMatchings(bud *budget.Budget) (*big.Int, error) {
 	n := e.N
 	size := 1 << uint(n)

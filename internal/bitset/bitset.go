@@ -1,0 +1,175 @@
+// Package bitset provides the packed boolean-set representation shared by
+// the repo's word-parallel kernels (DESIGN.md §16). A Set stores one bit per
+// item in []uint64 words, so the O-estimate scans, the propagation sweeps,
+// and the Ryser permanent walk 64 items per load with math/bits popcounts
+// instead of burning a branch per item on a []bool.
+//
+// Layout contract: item i lives at bit (i & 63) of word (i >> 6), and every
+// bit at position >= Len() is zero. Kernels rely on the tail invariant — a
+// word-parallel AND/OR over two sets of the same length never conjures
+// phantom items — so every mutating method preserves it and Words exposes
+// the raw words as shared, not copied, state.
+//
+// Iteration order is ascending item order: ForEach peels bits with
+// TrailingZeros64 from word 0 upward. The O-estimate kernels depend on this
+// to keep float accumulation order — and therefore bit-for-bit results —
+// identical to the historical per-item loops.
+package bitset
+
+import "math/bits"
+
+// wordShift and wordMask convert item indices to (word, bit) coordinates.
+const (
+	wordShift = 6
+	wordMask  = 63
+)
+
+// WordsFor returns the number of 64-bit words needed for n items.
+func WordsFor(n int) int {
+	return (n + wordMask) >> wordShift
+}
+
+// Set is a fixed-capacity packed set of items [0, Len()). The zero Set has
+// length zero and doubles as the "absent" value for optional masks (IsZero).
+// Like a slice, a Set is a small header over shared backing words: copies
+// alias the same storage, and mutating methods use value receivers.
+type Set struct {
+	n     int
+	words []uint64
+}
+
+// New returns an empty set over the domain [0, n).
+func New(n int) Set {
+	return Set{n: n, words: make([]uint64, WordsFor(n))}
+}
+
+// FromWords wraps a caller-owned word slice as a Set over [0, n) without
+// copying. The caller must uphold the layout contract: len(words) ==
+// WordsFor(n) and all bits >= n zero. Kernels use it to expose scratch
+// buffers through the Set API.
+func FromWords(n int, words []uint64) Set {
+	return Set{n: n, words: words}
+}
+
+// FromBools packs a []bool into a Set of the same length.
+func FromBools(bs []bool) Set {
+	s := New(len(bs))
+	for i, b := range bs {
+		if b {
+			s.words[i>>wordShift] |= 1 << uint(i&wordMask)
+		}
+	}
+	return s
+}
+
+// Len returns the domain size n.
+func (s Set) Len() int { return s.n }
+
+// IsZero reports whether s is the zero Set — the conventional "no mask"
+// value for optional bitset options.
+func (s Set) IsZero() bool { return s.n == 0 && s.words == nil }
+
+// Words returns the backing words, shared with the set. Hot loops capture
+// this once and index it directly; they must preserve the tail invariant
+// when writing.
+func (s Set) Words() []uint64 { return s.words }
+
+// Contains reports whether item i is in the set.
+func (s Set) Contains(i int) bool {
+	return s.words[i>>wordShift]&(1<<uint(i&wordMask)) != 0
+}
+
+// Add inserts item i.
+func (s Set) Add(i int) {
+	s.words[i>>wordShift] |= 1 << uint(i&wordMask)
+}
+
+// Remove deletes item i.
+func (s Set) Remove(i int) {
+	s.words[i>>wordShift] &^= 1 << uint(i&wordMask)
+}
+
+// Clear empties the set in place.
+func (s Set) Clear() {
+	for k := range s.words {
+		s.words[k] = 0
+	}
+}
+
+// Fill inserts every item of the domain, preserving the tail invariant.
+func (s Set) Fill() {
+	for k := range s.words {
+		s.words[k] = ^uint64(0)
+	}
+	s.trimTail()
+}
+
+// trimTail zeroes the bits at positions >= n in the last word.
+func (s Set) trimTail() {
+	if rem := s.n & wordMask; rem != 0 && len(s.words) > 0 {
+		s.words[len(s.words)-1] &= (1 << uint(rem)) - 1
+	}
+}
+
+// Count returns the number of items in the set, one popcount per word.
+func (s Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Equal reports whether two sets have the same domain size and members.
+func (s Set) Equal(t Set) bool {
+	if s.n != t.n {
+		return false
+	}
+	for k, w := range s.words {
+		if w != t.words[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy of the set.
+func (s Set) Clone() Set {
+	c := Set{n: s.n, words: make([]uint64, len(s.words))}
+	copy(c.words, s.words)
+	return c
+}
+
+// CopyFrom overwrites s's members with t's. The domains must match.
+func (s Set) CopyFrom(t Set) {
+	copy(s.words, t.words)
+}
+
+// Bools unpacks the set into a []bool of length Len().
+func (s Set) Bools() []bool {
+	out := make([]bool, s.n)
+	for i := range out {
+		out[i] = s.Contains(i)
+	}
+	return out
+}
+
+// ForEach calls fn for every member in ascending order. Convenience for
+// cold paths; hot kernels iterate Words() inline instead so the closure
+// call does not dominate the word scan.
+func (s Set) ForEach(fn func(i int)) {
+	for k, w := range s.words {
+		base := k << wordShift
+		for w != 0 {
+			fn(base + bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+}
+
+// Members appends the set's items to dst in ascending order and returns the
+// extended slice.
+func (s Set) Members(dst []int) []int {
+	s.ForEach(func(i int) { dst = append(dst, i) })
+	return dst
+}

@@ -1,0 +1,150 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBasicOps(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 128, 130, 1000} {
+		s := New(n)
+		if s.Len() != n {
+			t.Fatalf("n=%d: Len=%d", n, s.Len())
+		}
+		if got, want := len(s.Words()), WordsFor(n); got != want {
+			t.Fatalf("n=%d: %d words, want %d", n, got, want)
+		}
+		if s.Count() != 0 {
+			t.Fatalf("n=%d: fresh set has %d members", n, s.Count())
+		}
+		for i := 0; i < n; i += 7 {
+			s.Add(i)
+		}
+		for i := 0; i < n; i++ {
+			if got, want := s.Contains(i), i%7 == 0; got != want {
+				t.Fatalf("n=%d: Contains(%d)=%v, want %v", n, i, got, want)
+			}
+		}
+		want := (n + 6) / 7
+		if s.Count() != want {
+			t.Fatalf("n=%d: Count=%d, want %d", n, s.Count(), want)
+		}
+		for i := 0; i < n; i += 7 {
+			s.Remove(i)
+		}
+		if s.Count() != 0 {
+			t.Fatalf("n=%d: Count=%d after removing all", n, s.Count())
+		}
+	}
+}
+
+func TestTailInvariant(t *testing.T) {
+	for _, n := range []int{1, 5, 63, 64, 65, 127, 129} {
+		s := New(n)
+		s.Fill()
+		if s.Count() != n {
+			t.Fatalf("n=%d: Fill gives Count=%d", n, s.Count())
+		}
+		words := s.Words()
+		if rem := n & 63; rem != 0 {
+			if hi := words[len(words)-1] >> uint(rem); hi != 0 {
+				t.Fatalf("n=%d: tail bits set: %#x", n, hi)
+			}
+		}
+		s.Clear()
+		for _, w := range words {
+			if w != 0 {
+				t.Fatalf("n=%d: Clear left word %#x", n, w)
+			}
+		}
+	}
+}
+
+func TestFromBoolsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(300)
+		bs := make([]bool, n)
+		for i := range bs {
+			bs[i] = rng.Intn(2) == 0
+		}
+		s := FromBools(bs)
+		got := s.Bools()
+		for i := range bs {
+			if got[i] != bs[i] {
+				t.Fatalf("trial %d: round-trip mismatch at %d", trial, i)
+			}
+		}
+	}
+}
+
+func TestForEachAscending(t *testing.T) {
+	s := New(200)
+	want := []int{0, 1, 63, 64, 65, 127, 128, 199}
+	for _, i := range want {
+		s.Add(i)
+	}
+	var got []int
+	s.ForEach(func(i int) { got = append(got, i) })
+	if len(got) != len(want) {
+		t.Fatalf("ForEach visited %v, want %v", got, want)
+	}
+	for k := range want {
+		if got[k] != want[k] {
+			t.Fatalf("ForEach visited %v, want %v", got, want)
+		}
+	}
+	members := s.Members(nil)
+	for k := range want {
+		if members[k] != want[k] {
+			t.Fatalf("Members = %v, want %v", members, want)
+		}
+	}
+}
+
+func TestEqualCloneCopy(t *testing.T) {
+	a := New(100)
+	a.Add(3)
+	a.Add(77)
+	b := a.Clone()
+	if !a.Equal(b) {
+		t.Fatal("clone not equal")
+	}
+	b.Add(50)
+	if a.Equal(b) {
+		t.Fatal("clone shares storage with original")
+	}
+	c := New(100)
+	c.CopyFrom(b)
+	if !c.Equal(b) {
+		t.Fatal("CopyFrom mismatch")
+	}
+	if a.Equal(New(101)) {
+		t.Fatal("sets of different lengths compare equal")
+	}
+}
+
+func TestIsZero(t *testing.T) {
+	var zero Set
+	if !zero.IsZero() {
+		t.Fatal("zero Set not IsZero")
+	}
+	if New(0).IsZero() {
+		t.Fatal("New(0) reported IsZero")
+	}
+	if New(5).IsZero() {
+		t.Fatal("New(5) reported IsZero")
+	}
+}
+
+func TestFromWords(t *testing.T) {
+	words := make([]uint64, WordsFor(70))
+	s := FromWords(70, words)
+	s.Add(69)
+	if words[1] != 1<<5 {
+		t.Fatalf("FromWords does not alias caller storage: %#x", words[1])
+	}
+	if !s.Contains(69) {
+		t.Fatal("Contains(69) false after Add")
+	}
+}

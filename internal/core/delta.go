@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/bipartite"
+	"repro/internal/bitset"
 	"repro/internal/budget"
 )
 
@@ -86,13 +87,15 @@ func (d *OEDelta) RefreshCtx(ctx context.Context, changed []int) (*OEResult, err
 	}
 	res := &OEResult{
 		Outdeg:    append([]int(nil), d.outdeg...),
-		Crackable: make([]bool, n),
+		Crackable: bitset.New(n),
 	}
 	for x := 0; x < n; x++ {
 		if err := bud.Charge(1); err != nil {
 			return nil, fmt.Errorf("core: O-estimate delta sum: %w", err)
 		}
-		res.Crackable[x] = d.contrib[x] != 0
+		if d.contrib[x] != 0 {
+			res.Crackable.Add(x)
+		}
 		res.Value += d.contrib[x]
 	}
 	return res, nil

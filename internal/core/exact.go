@@ -24,17 +24,27 @@ func ExactExpectedCracks(e *bipartite.Explicit) (float64, error) {
 }
 
 // ExactExpectedCracksCtx is ExactExpectedCracks under a work budget: the
-// context's deadline and operation limit bound the n+1 permanent DPs, so the
-// #P-complete direct method can be attempted speculatively and abandoned
-// (budget.ErrBudgetExceeded) by a degradation cascade.
+// context's deadline and operation limit bound the n+1 Gray-code Ryser
+// passes, so the #P-complete direct method can be attempted speculatively
+// and abandoned (budget.ErrBudgetExceeded) by a degradation cascade.
+//
+// Only the diagonal of the edge-inclusion matrix enters the sum, so the
+// permanents come from bipartite.DiagonalMatchingCountsCtx — O(n) memory,
+// reaching n = MaxExactN — rather than the 2^n-table edge-inclusion DP,
+// which stops at the tighter MaxExactTableN.
 func ExactExpectedCracksCtx(ctx context.Context, e *bipartite.Explicit) (float64, error) {
-	probs, err := e.EdgeInclusionProbabilityCtx(ctx)
+	total, diag, err := e.DiagonalMatchingCountsCtx(ctx)
 	if err != nil {
 		return 0, err
 	}
+	tot := new(big.Float).SetInt(total)
 	exp := 0.0
 	for x := 0; x < e.N; x++ {
-		exp += probs[x][x]
+		if diag[x] == nil {
+			continue
+		}
+		q, _ := new(big.Float).Quo(new(big.Float).SetInt(diag[x]), tot).Float64()
+		exp += q
 	}
 	return exp, nil
 }

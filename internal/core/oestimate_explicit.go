@@ -3,8 +3,10 @@ package core
 import (
 	"context"
 	"fmt"
+	"math/bits"
 
 	"repro/internal/bipartite"
+	"repro/internal/bitset"
 	"repro/internal/budget"
 )
 
@@ -19,24 +21,34 @@ func OEstimateExplicit(e *bipartite.Explicit, opts OEOptions) (*OEResult, error)
 
 // OEstimateExplicitCtx is OEstimateExplicit under a work budget, mirroring
 // OEstimateGraphCtx: one operation per edge scanned plus the propagation's
-// own charges.
+// own charges. The summation runs on the same word-parallel kernels as the
+// interval-structured path; only the compliance words (here the adjacency
+// diagonal) and the reciprocals (computed from the scanned indegrees) are
+// sourced differently.
 func OEstimateExplicitCtx(ctx context.Context, e *bipartite.Explicit, opts OEOptions) (*OEResult, error) {
 	n := e.N
-	if opts.Mask != nil && len(opts.Mask) != n {
-		return nil, fmt.Errorf("core: mask has %d entries, want %d", len(opts.Mask), n)
+	if err := checkMask("mask", opts.Mask, n); err != nil {
+		return nil, err
 	}
-	if opts.Interest != nil && len(opts.Interest) != n {
-		return nil, fmt.Errorf("core: interest mask has %d entries, want %d", len(opts.Interest), n)
+	if err := checkMask("interest mask", opts.Interest, n); err != nil {
+		return nil, err
 	}
-	counted := func(x int) bool { return opts.Interest == nil || opts.Interest[x] }
 	bud := budget.New(ctx, budget.Config{CheckEvery: 4096})
 	if err := bud.Check(); err != nil {
 		return nil, err
 	}
-	res := &OEResult{Crackable: make([]bool, n)}
+	var maskW, intW []uint64
+	if !opts.Mask.IsZero() {
+		maskW = opts.Mask.Words()
+	}
+	if !opts.Interest.IsZero() {
+		intW = opts.Interest.Words()
+	}
+	res := &OEResult{Crackable: bitset.New(n)}
 
 	indeg := make([]int, n)
-	diag := make([]bool, n)
+	diag := bitset.New(n)
+	diagW := diag.Words()
 	for w := 0; w < n; w++ {
 		if err := bud.Charge(int64(len(e.Adj[w]) + 1)); err != nil {
 			return nil, fmt.Errorf("core: explicit O-estimate: %w", err)
@@ -44,22 +56,32 @@ func OEstimateExplicitCtx(ctx context.Context, e *bipartite.Explicit, opts OEOpt
 		for _, x := range e.Adj[w] {
 			indeg[x]++
 			if w == x {
-				diag[x] = true
+				diagW[x>>6] |= 1 << uint(x&63)
 			}
 		}
 	}
 
 	if !opts.Propagate {
 		res.Outdeg = indeg
-		for x := 0; x < n; x++ {
-			if !diag[x] || (opts.Mask != nil && !opts.Mask[x]) {
-				continue
+		// Reciprocals of the freshly scanned indegrees, restricted to the
+		// diagonal (diag implies indeg >= 1): the same divisions the per-item
+		// loop performed, hoisted out of the masked scan.
+		inv := make([]float64, n)
+		for k, w := range diagW {
+			if err := bud.Check(); err != nil {
+				return nil, fmt.Errorf("core: explicit O-estimate: %w", err)
 			}
-			res.Crackable[x] = true
-			if counted(x) {
-				res.Value += 1 / float64(indeg[x])
+			base := k << 6
+			for ; w != 0; w &= w - 1 {
+				x := base + bits.TrailingZeros64(w)
+				inv[x] = 1 / float64(indeg[x])
 			}
 		}
+		value, err := oeScanWords(bud, n, diagW, maskW, intW, res.Crackable.Words(), inv)
+		if err != nil {
+			return nil, fmt.Errorf("core: explicit O-estimate: %w", err)
+		}
+		res.Value = value
 		return res, nil
 	}
 
@@ -70,34 +92,10 @@ func OEstimateExplicitCtx(ctx context.Context, e *bipartite.Explicit, opts OEOpt
 	res.Outdeg = p.Outdeg
 	res.Forced = len(p.Forced)
 	res.Rounds = p.Rounds
-	forcedItem := make([]bool, n)
-	crackForced := make([]bool, n)
-	anonConsumed := make([]bool, n)
-	for _, fp := range p.Forced {
-		forcedItem[fp.Item] = true
-		anonConsumed[fp.Anon] = true
-		if fp.Anon == fp.Item {
-			crackForced[fp.Item] = true
-		}
+	value, err := oePropagatedWords(bud, n, diagW, maskW, intW, res.Crackable.Words(), p.Outdeg, p.Forced)
+	if err != nil {
+		return nil, fmt.Errorf("core: explicit O-estimate: %w", err)
 	}
-	for x := 0; x < n; x++ {
-		if opts.Mask != nil && !opts.Mask[x] {
-			continue
-		}
-		switch {
-		case crackForced[x]:
-			res.Crackable[x] = true
-			if counted(x) {
-				res.Value++
-			}
-		case forcedItem[x] || !diag[x] || anonConsumed[x]:
-			// Either pinned to a different twin, or its twin is unreachable.
-		default:
-			res.Crackable[x] = true
-			if counted(x) {
-				res.Value += 1 / float64(p.Outdeg[x])
-			}
-		}
-	}
+	res.Value = value
 	return res, nil
 }

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/belief"
 	"repro/internal/bipartite"
+	"repro/internal/bitset"
 	"repro/internal/dataset"
 )
 
@@ -42,7 +43,13 @@ func TestOEstimateExplicitMatchesCompact(t *testing.T) {
 			}
 		}
 		for _, propagate := range []bool{false, true} {
-			opts := OEOptions{Propagate: propagate, Mask: mask, Interest: interest}
+			opts := OEOptions{Propagate: propagate}
+			if mask != nil {
+				opts.Mask = bitset.FromBools(mask)
+			}
+			if interest != nil {
+				opts.Interest = bitset.FromBools(interest)
+			}
 			compact, errC := OEstimateGraph(g, opts)
 			explicit, errE := OEstimateExplicit(e, opts)
 			if (errC == nil) != (errE == nil) {
@@ -79,10 +86,10 @@ func TestOEstimateExplicitFigure6b(t *testing.T) {
 
 func TestOEstimateExplicitValidation(t *testing.T) {
 	e := bipartite.Complete(3)
-	if _, err := OEstimateExplicit(e, OEOptions{Mask: []bool{true}}); err == nil {
+	if _, err := OEstimateExplicit(e, OEOptions{Mask: bitset.New(1)}); err == nil {
 		t.Error("short mask: want error")
 	}
-	if _, err := OEstimateExplicit(e, OEOptions{Interest: []bool{true}}); err == nil {
+	if _, err := OEstimateExplicit(e, OEOptions{Interest: bitset.New(1)}); err == nil {
 		t.Error("short interest: want error")
 	}
 	infeasible := bipartite.MustExplicit(2, [][]int{{1}, {1}})

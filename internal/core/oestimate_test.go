@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/belief"
 	"repro/internal/bipartite"
+	"repro/internal/bitset"
 	"repro/internal/dataset"
 )
 
@@ -31,10 +32,8 @@ func TestOEstimateBigMartH(t *testing.T) {
 	if f := res.Fraction(); math.Abs(f-want/6) > 1e-12 {
 		t.Errorf("Fraction = %v, want %v", f, want/6)
 	}
-	for x, ok := range res.Crackable {
-		if !ok {
-			t.Errorf("item %d should be crackable under compliant h", x)
-		}
+	if got := res.Crackable.Count(); got != 6 {
+		t.Errorf("%d crackable items, want all 6 under compliant h", got)
 	}
 }
 
@@ -148,7 +147,7 @@ func TestOEstimateMaskMonotonicityLemma10(t *testing.T) {
 		}
 		prev := math.Inf(1)
 		for level := 0; level < 4; level++ {
-			res, err := OEstimate(bf, ft, OEOptions{Mask: mask})
+			res, err := OEstimate(bf, ft, OEOptions{Mask: bitset.FromBools(mask)})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -165,7 +164,7 @@ func TestOEstimateMaskMonotonicityLemma10(t *testing.T) {
 func TestOEstimateMaskExcludesItems(t *testing.T) {
 	ft := bigMartTable(t)
 	mask := []bool{true, false, true, false, true, false}
-	res, err := OEstimate(beliefH(), ft, OEOptions{Mask: mask})
+	res, err := OEstimate(beliefH(), ft, OEOptions{Mask: bitset.FromBools(mask)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,12 +172,12 @@ func TestOEstimateMaskExcludesItems(t *testing.T) {
 	if math.Abs(res.Value-want) > 1e-12 {
 		t.Errorf("masked OE = %v, want %v", res.Value, want)
 	}
-	for x, ok := range res.Crackable {
-		if ok != mask[x] {
-			t.Errorf("Crackable[%d] = %v, want %v", x, ok, mask[x])
+	for x := range mask {
+		if got := res.Crackable.Contains(x); got != mask[x] {
+			t.Errorf("Crackable(%d) = %v, want %v", x, got, mask[x])
 		}
 	}
-	if _, err := OEstimate(beliefH(), ft, OEOptions{Mask: []bool{true}}); err == nil {
+	if _, err := OEstimate(beliefH(), ft, OEOptions{Mask: bitset.New(1)}); err == nil {
 		t.Error("short mask: want error")
 	}
 }
@@ -194,7 +193,7 @@ func TestOEstimateNonCompliantContributesZero(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Crackable[0] {
+	if res.Crackable.Contains(0) {
 		t.Error("non-compliant item 0 must not be crackable")
 	}
 	// Item 0's interval misses every observed frequency, so the remaining
@@ -307,7 +306,7 @@ func TestOEstimateInterestLemma2And4(t *testing.T) {
 	interest := []bool{true, false, false, false, true, false}
 
 	// Ignorant belief: OE restricted to the subset equals Lemma 2's n1/n.
-	res, err := OEstimate(belief.Ignorant(6), ft, OEOptions{Interest: interest})
+	res, err := OEstimate(belief.Ignorant(6), ft, OEOptions{Interest: bitset.FromBools(interest)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -320,7 +319,7 @@ func TestOEstimateInterestLemma2And4(t *testing.T) {
 	}
 
 	// Point-valued belief: OE restricted equals Lemma 4's Σ c_i/n_i.
-	res, err = OEstimate(belief.PointValued(ft.Frequencies()), ft, OEOptions{Interest: interest})
+	res, err = OEstimate(belief.PointValued(ft.Frequencies()), ft, OEOptions{Interest: bitset.FromBools(interest)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -335,7 +334,7 @@ func TestOEstimateInterestLemma2And4(t *testing.T) {
 	// Interest with propagation: forced cracks outside the interest set do
 	// not count.
 	onlyBig := []bool{true, false, true, true, false, true} // the 0.5 group
-	res, err = OEstimate(belief.PointValued(ft.Frequencies()), ft, OEOptions{Interest: onlyBig, Propagate: true})
+	res, err = OEstimate(belief.PointValued(ft.Frequencies()), ft, OEOptions{Interest: bitset.FromBools(onlyBig), Propagate: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -343,7 +342,7 @@ func TestOEstimateInterestLemma2And4(t *testing.T) {
 		t.Errorf("interest OE (propagated, big group only) = %v, want 1", res.Value)
 	}
 
-	if _, err := OEstimate(belief.Ignorant(6), ft, OEOptions{Interest: []bool{true}}); err == nil {
+	if _, err := OEstimate(belief.Ignorant(6), ft, OEOptions{Interest: bitset.New(1)}); err == nil {
 		t.Error("short interest mask: want error")
 	}
 }

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/belief"
 	"repro/internal/bipartite"
+	"repro/internal/bitset"
 	"repro/internal/dataset"
 )
 
@@ -132,7 +133,7 @@ func TestOracleLemma2IgnorantSubset(t *testing.T) {
 			if got := exactSubset(t, e, interest); math.Abs(got-want) > oracleTol {
 				t.Errorf("n=%d n1=%d: exact subset E(X) = %v, Lemma 2 says %v", n, n1, got, want)
 			}
-			oe, err := OEstimate(bf, ft, OEOptions{Interest: interest})
+			oe, err := OEstimate(bf, ft, OEOptions{Interest: bitset.FromBools(interest)})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -200,7 +201,7 @@ func TestOracleLemma4PointValuedSubset(t *testing.T) {
 			if got := exactSubset(t, e, interest); math.Abs(got-want) > oracleTol {
 				t.Errorf("n=%d: exact subset E(X) = %v, Lemma 4 says %v", n, got, want)
 			}
-			oe, err := OEstimate(bf, ft, OEOptions{Interest: interest})
+			oe, err := OEstimate(bf, ft, OEOptions{Interest: bitset.FromBools(interest)})
 			if err != nil {
 				t.Fatal(err)
 			}

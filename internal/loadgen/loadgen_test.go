@@ -1,0 +1,152 @@
+package loadgen
+
+// Contract tests for the load generator: every mix replays cleanly against
+// an in-process riskd, the workload digest is a pure function of
+// (mix, seed, requests), and each mix produces the serving regime it is
+// named for (hot hits the cache, cold never does, delta chains
+// incrementally, degraded trips the budget).
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+func benchServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(server.New(server.Config{}).Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func runMix(t *testing.T, ts *httptest.Server, mix string, requests, conc int, seed int64) *Result {
+	t.Helper()
+	res, err := Run(context.Background(), Config{
+		BaseURL:     ts.URL,
+		Mix:         mix,
+		Requests:    requests,
+		Concurrency: conc,
+		Seed:        seed,
+		Client:      &http.Client{Timeout: time.Minute},
+	})
+	if err != nil {
+		t.Fatalf("%s: %v", mix, err)
+	}
+	if res.Errors > 0 {
+		t.Fatalf("%s: %d transport errors (first: %s)", mix, res.Errors, res.ErrorSample)
+	}
+	if res.Answered != res.Requests {
+		t.Fatalf("%s: answered %d of %d", mix, res.Answered, res.Requests)
+	}
+	return res
+}
+
+func TestHotMixHitsCache(t *testing.T) {
+	ts := benchServer(t)
+	res := runMix(t, ts, MixHot, 8, 1, 7)
+	// Sequential: request 0 is the cold fill, every repeat is a cache hit.
+	if res.Cached != res.Requests-1 {
+		t.Errorf("hot mix: %d cached of %d, want %d", res.Cached, res.Requests, res.Requests-1)
+	}
+	if res.P50MS <= 0 || res.P99MS < res.P50MS || res.ThroughputRPS <= 0 {
+		t.Errorf("hot mix: implausible stats %+v", res)
+	}
+}
+
+func TestColdMixNeverHitsCache(t *testing.T) {
+	ts := benchServer(t)
+	res := runMix(t, ts, MixCold, 6, 2, 7)
+	if res.Cached != 0 || res.Coalesced != 0 {
+		t.Errorf("cold mix: %d cached, %d coalesced, want 0/0", res.Cached, res.Coalesced)
+	}
+}
+
+func TestDeltaMixChainsIncrementally(t *testing.T) {
+	ts := benchServer(t)
+	res := runMix(t, ts, MixDelta, 6, 4, 7) // concurrency is forced to 1
+	if res.Concurrency != 1 {
+		t.Errorf("delta mix ran at concurrency %d, want 1 (digest-chained)", res.Concurrency)
+	}
+	if res.Incremental == 0 {
+		t.Errorf("delta mix: no incremental responses in %d requests", res.Requests)
+	}
+}
+
+func TestDegradedMixTripsBudget(t *testing.T) {
+	ts := benchServer(t)
+	res := runMix(t, ts, MixDegraded, 4, 1, 7)
+	if res.Degraded+res.Throttled == 0 {
+		t.Errorf("degraded mix: no degraded or throttled responses in %d requests", res.Requests)
+	}
+}
+
+// TestWorkloadDigestReproducible pins the reproducibility contract: the same
+// (mix, seed, requests) triple always replays the same workload, different
+// seeds replay different ones, and no two mixes share a digest.
+func TestWorkloadDigestReproducible(t *testing.T) {
+	seen := map[string]string{}
+	for _, mix := range Mixes {
+		plan1, err := buildPlan(mix, 7, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan2, err := buildPlan(mix, 7, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d1, err := planDigest(mix, plan1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d2, err := planDigest(mix, plan2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d1 != d2 {
+			t.Errorf("%s: same (seed, requests) gave digests %s and %s", mix, d1, d2)
+		}
+		other, err := buildPlan(mix, 8, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dOther, err := planDigest(mix, other)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dOther == d1 {
+			t.Errorf("%s: seeds 7 and 8 share workload digest %s", mix, d1)
+		}
+		if prev, dup := seen[d1]; dup {
+			t.Errorf("mixes %s and %s share workload digest %s", prev, mix, d1)
+		}
+		seen[d1] = mix
+	}
+}
+
+// TestRunDigestMatchesPlan checks Run reports the digest of the plan it
+// actually replayed.
+func TestRunDigestMatchesPlan(t *testing.T) {
+	ts := benchServer(t)
+	res := runMix(t, ts, MixHot, 3, 1, 11)
+	plan, err := buildPlan(MixHot, 11, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := planDigest(MixHot, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WorkloadDigest != want {
+		t.Errorf("Run digest %s, plan digest %s", res.WorkloadDigest, want)
+	}
+}
+
+func TestUnknownMixRejected(t *testing.T) {
+	if _, err := Run(context.Background(), Config{BaseURL: "http://x", Mix: "warm"}); err == nil {
+		t.Fatal("unknown mix accepted")
+	}
+}

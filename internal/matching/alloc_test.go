@@ -51,6 +51,14 @@ func TestCracksZeroAllocs(t *testing.T) {
 	_ = sink
 }
 
+func TestTargetedSweepBatchZeroAllocs(t *testing.T) {
+	s := allocSampler(t)
+	s.targetedSweepBatch(64) // first call sizes the word buffer
+	if n := testing.AllocsPerRun(200, func() { s.targetedSweepBatch(64) }); n != 0 {
+		t.Errorf("targetedSweepBatch allocates %v per call, want 0", n)
+	}
+}
+
 func TestReseedZeroAllocs(t *testing.T) {
 	s := allocSampler(t)
 	if n := testing.AllocsPerRun(200, func() { s.Reseed(2) }); n != 0 {
@@ -81,6 +89,30 @@ func TestSimulateRunSteadyStateAllocs(t *testing.T) {
 	})
 	if n != 0 {
 		t.Errorf("steady-state simulateRun allocates %v per run, want 0", n)
+	}
+}
+
+// TestSimulateRunBatchedSteadyStateAllocs is the batched-kernel row of the
+// same contract: with BatchK set, the word buffer is sized on the warm-up
+// run and steady-state runs stay allocation-free.
+func TestSimulateRunBatchedSteadyStateAllocs(t *testing.T) {
+	ft := mustTable(t, 60, []int{4, 4, 11, 11, 11, 19, 19, 28, 28, 39, 39, 39, 50, 50})
+	bf := belief.UniformWidth(ft.Frequencies(), 0.09)
+	g := buildGraph(t, bf, ft)
+	cfg := Config{SeedSweeps: 5, SampleGap: 2, SamplesPerSeed: 10, Samples: 30, Runs: 1, BatchK: 64}.withDefaults()
+	sc := &runScratch{bud: budget.NewShared(context.Background(), budget.Config{}).Worker()}
+	if _, err := simulateRun(g, cfg, parallel.SplitSeed(1, 0), sc); err != nil {
+		t.Fatal(err) // warm-up run binds the scratch and sizes the buffer
+	}
+	run := uint64(1)
+	n := testing.AllocsPerRun(50, func() {
+		if _, err := simulateRun(g, cfg, parallel.SplitSeed(1, run), sc); err != nil {
+			t.Fatal(err)
+		}
+		run++
+	})
+	if n != 0 {
+		t.Errorf("steady-state batched simulateRun allocates %v per run, want 0", n)
 	}
 }
 

@@ -37,6 +37,15 @@ type Config struct {
 	Samples        int  // total samples per run; default 1000
 	Runs           int  // independent runs averaged; default 5 (as in the paper)
 	PaperMoves     bool // use the paper's blind transpositions instead of targeted swaps
+
+	// BatchK > 1 makes targeted sweeps draw their randomness in batches of K
+	// proposals per refill (targetedSweepBatch): one 64-bit stream touch per
+	// proposal instead of two, with the Lemire rejection threshold hoisted to
+	// one bounds computation per batch. 0 or 1 selects the legacy
+	// draw-per-proposal kernel, whose output the batched kernel does NOT
+	// reproduce (it consumes the stream differently) — K=1 exists precisely
+	// so callers can pin byte-identical historical trajectories.
+	BatchK int
 }
 
 // withDefaults fills zero fields.
@@ -85,6 +94,10 @@ type Sampler struct {
 	// default is targeted swaps.
 	PaperMoves bool
 
+	// BatchK > 1 makes Step use the batched targeted kernel with K
+	// proposals per randomness refill; see Config.BatchK.
+	BatchK int
+
 	g *bipartite.Graph
 
 	// Slice headers captured from the graph at bind time so the proposal
@@ -96,9 +109,10 @@ type Sampler struct {
 	itemHi   []int // last consistent group per item (inclusive)
 	itemGrp  []int // true group of each anonymized item
 
-	anonOf []int // anonOf[x] = anonymized item currently matched to item x
-	itemOf []int // itemOf[w] = item currently holding anonymized item w
-	perm   []int // scratch permutation for Sweep
+	anonOf   []int    // anonOf[x] = anonymized item currently matched to item x
+	itemOf   []int    // itemOf[w] = item currently holding anonymized item w
+	perm     []int    // scratch permutation for Sweep
+	batchBuf []uint64 // word buffer for targetedSweepBatch: raw draws, then packed proposals
 
 	seedMatch    []int // base matching reseeds start from
 	identitySeed bool  // seedMatch is the identity: shuffle within groups
@@ -285,6 +299,129 @@ func (s *Sampler) TargetedSweep() int {
 	return accepted
 }
 
+// targetedSweepBatch performs the same n targeted-swap proposals as
+// TargetedSweep, but draws randomness in batches of k proposals per refill
+// of a reusable word buffer:
+//
+//   - ONE 64-bit stream touch per proposal instead of two — the high half
+//     picks the item, the low half picks the candidate, each by Lemire's
+//     32-bit multiply-shift (exact for n < 2^31, which even RETAIL clears
+//     by five orders of magnitude);
+//   - the item draw's rejection threshold (-n mod n) is hoisted to one
+//     bounds computation per batch, where the per-draw kernel re-derives it
+//     lazily inside every unlucky draw;
+//   - the stream state lives in a stack variable across the whole sweep —
+//     no pointer round-trip through the Sampler per draw — and is written
+//     back once at the end.
+//
+// The move kernel, acceptance rule, and stationary distribution are exactly
+// TargetedSweep's; only the stream-consumption pattern differs, so batched
+// trajectories are deterministic per seed but not byte-identical to the
+// k=1 kernel's. k < 2 (and the out-of-range n ≥ 2^31 guard) falls back to
+// the per-draw kernel.
+func (s *Sampler) targetedSweepBatch(k int) int {
+	n := len(s.anonOf)
+	if k < 2 || n == 0 || uint64(n) >= 1<<31 {
+		return s.TargetedSweep()
+	}
+	if cap(s.batchBuf) < k {
+		s.batchBuf = make([]uint64, k)
+	}
+	anonOf, itemOf := s.anonOf, s.itemOf
+	flat, candBase, candSpan := s.flat, s.candBase, s.candSpan
+	itemLo, itemHi, itemGrp := s.itemLo, s.itemHi, s.itemGrp
+	un := uint64(n)
+	n32 := uint32(n)
+	itemThresh := -n32 % n32 // (2^32 - n) mod n, the biased low fringe
+	state := s.rng           // stream state in a register for the whole sweep
+	accepted := 0
+	//lint:allow loopbudget one O(n) sweep over register-resident state, same cost contract as TargetedSweep; simulateRun charges per sweep
+	for done := 0; done < n; {
+		cnt := k
+		if n-done < cnt {
+			cnt = n - done
+		}
+		buf := s.batchBuf[:cnt]
+		for idx := range buf {
+			buf[idx] = state.Uint64()
+		}
+		// Phase 1: resolve every slot's (item, candidate) pair, packed back
+		// into the word buffer in place as item<<32 | candidate (all-ones
+		// marks an isolated item with no candidates). The pairs depend only
+		// on the stream words and the graph's static layout — not on the
+		// evolving matching — so the iterations are independent and the
+		// multiplies and candidate loads pipeline across slots, instead of
+		// queueing behind the previous proposal's swap.
+		for idx, word := range buf {
+			// Item from the high half: one 32×32→64 multiply against the
+			// batch-hoisted threshold.
+			m := (word >> 32) * un
+			for uint32(m) < itemThresh {
+				m = (state.Uint64() >> 32) * un
+			}
+			i := int(m >> 32)
+			span := candSpan[i]
+			if span == 0 {
+				buf[idx] = ^uint64(0) // isolated item: no proposal
+				continue
+			}
+			// Candidate from the low half: span varies per item, so the
+			// fringe test stays lazy as in Stream.Uintn.
+			us := uint64(uint32(span))
+			m2 := (word & 0xffffffff) * us
+			if lo := uint32(m2); lo < uint32(span) {
+				thresh := -uint32(span) % uint32(span)
+				for lo < thresh {
+					m2 = (state.Uint64() & 0xffffffff) * us
+					lo = uint32(m2)
+				}
+			}
+			buf[idx] = uint64(i)<<32 | uint64(uint32(flat[candBase[i]+int(m2>>32)]))
+		}
+		// Phase 2: apply the proposals in slot order against the live
+		// matching. Acceptance is branchless: a rejected proposal becomes
+		// the no-op transposition (i, i) by conditional move, and the swap
+		// body runs unconditionally with a flag-set crack delta — near
+		// stationarity the accept/reject outcomes are data-dependent coin
+		// flips, exactly the branches a predictor cannot learn. A proposal
+		// whose candidate is the item's current partner is the identity
+		// move and counts as (trivially) accepted, unlike the per-draw
+		// kernel, which skips it before the acceptance test.
+		cracks := s.cracks
+		for _, pair := range buf {
+			if pair == ^uint64(0) {
+				continue
+			}
+			i := int(pair >> 32)
+			j := itemOf[uint32(pair)]
+			gi := itemGrp[anonOf[i]]
+			ok := itemLo[j] <= gi && gi <= itemHi[j]
+			if !ok {
+				j = i
+			}
+			wi, wj := anonOf[i], anonOf[j]
+			cracks += b2i(wj == i) + b2i(wi == j) - b2i(wi == i) - b2i(wj == j)
+			anonOf[i], anonOf[j] = wj, wi
+			itemOf[wi], itemOf[wj] = j, i
+			accepted += b2i(ok)
+		}
+		s.cracks = cracks
+		done += cnt
+	}
+	s.rng = state
+	return accepted
+}
+
+// b2i converts a bool to 0/1; the compiler lowers this pattern to a
+// flag-set instruction, keeping the batched apply loop free of
+// data-dependent jumps.
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
 // Cracks returns the number of cracked items in the current matching — items
 // whose matched anonymized item is their own twin — in O(1): the count is
 // maintained incrementally by swap and recomputed only on reseed.
@@ -299,6 +436,9 @@ func (s *Sampler) Matching() []int {
 func (s *Sampler) Step() int {
 	if s.PaperMoves {
 		return s.Sweep()
+	}
+	if s.BatchK > 1 {
+		return s.targetedSweepBatch(s.BatchK)
 	}
 	return s.TargetedSweep()
 }
@@ -398,6 +538,7 @@ func simulateRun(g *bipartite.Graph, cfg Config, seed int64, sc *runScratch) (fl
 		return 0, err
 	}
 	s.PaperMoves = cfg.PaperMoves
+	s.BatchK = cfg.BatchK
 	reseed := func() error {
 		s.reseed()
 		for i := 0; i < cfg.SeedSweeps; i++ {

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/belief"
 	"repro/internal/bipartite"
+	"repro/internal/bitset"
 	"repro/internal/budget"
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -299,11 +300,9 @@ func newAlphaSearchGraph(ft *dataset.FrequencyTable, g *bipartite.Graph, runs in
 			return nil, err
 		}
 		contrib = make([]float64, n)
-		for x := 0; x < n; x++ {
-			if oe.Crackable[x] {
-				contrib[x] = 1 / float64(oe.Outdeg[x])
-			}
-		}
+		oe.Crackable.ForEach(func(x int) {
+			contrib[x] = 1 / float64(oe.Outdeg[x])
+		})
 	}
 	for r := 0; r < runs; r++ {
 		if !biased {
@@ -348,11 +347,11 @@ func (s *AlphaSearch) OEAtCtx(ctx context.Context, alpha float64) (float64, erro
 	}
 	runs := len(s.orders)
 	workers := parallel.PoolWorkers(ctx, 0, runs)
-	masks := make([][]bool, workers)
+	masks := make([]bitset.Set, workers)
 	vals := make([]float64, runs)
 	err := parallel.ForEachWorker(ctx, workers, runs, func(w, r int) error {
-		if masks[w] == nil {
-			masks[w] = make([]bool, s.ft.NItems)
+		if masks[w].IsZero() {
+			masks[w] = bitset.New(s.ft.NItems)
 		}
 		v, err := s.oeOne(ctx, alpha, s.orders[r], masks[w])
 		if err != nil {
@@ -378,14 +377,14 @@ func (s *AlphaSearch) OEAtCtx(ctx context.Context, alpha float64) (float64, erro
 // one worker — and gets it back zeroed, whether or not the estimate errored.
 // Which worker's buffer arrives here can never change the value: the mask is
 // fully determined by (alpha, order) before the estimate reads it.
-func (s *AlphaSearch) oeOne(ctx context.Context, alpha float64, order []int, mask []bool) (float64, error) {
+func (s *AlphaSearch) oeOne(ctx context.Context, alpha float64, order []int, mask bitset.Set) (float64, error) {
 	k := int(alpha*float64(s.ft.NItems) + 0.5)
 	for _, x := range order[:k] {
-		mask[x] = true
+		mask.Add(x)
 	}
 	oe, err := core.OEstimateGraphCtx(ctx, s.g, core.OEOptions{Mask: mask, Propagate: s.propagate})
 	for _, x := range order[:k] {
-		mask[x] = false
+		mask.Remove(x)
 	}
 	if err != nil {
 		return 0, err
@@ -467,11 +466,11 @@ func (s *AlphaSearch) CurveCtx(ctx context.Context, alphas []float64) ([]float64
 	runs := len(s.orders)
 	grid := len(alphas) * runs
 	workers := parallel.PoolWorkers(ctx, 0, grid)
-	masks := make([][]bool, workers)
+	masks := make([]bitset.Set, workers)
 	vals := make([]float64, grid)
 	err := parallel.ForEachWorker(ctx, workers, grid, func(w, k int) error {
-		if masks[w] == nil {
-			masks[w] = make([]bool, s.ft.NItems)
+		if masks[w].IsZero() {
+			masks[w] = bitset.New(s.ft.NItems)
 		}
 		v, err := s.oeOne(ctx, alphas[k/runs], s.orders[k%runs], masks[w])
 		if err != nil {

@@ -146,11 +146,11 @@ func AssessDisclosureCtx(ctx context.Context, r *Relation, info PartialInfo, exa
 	}
 	rep.OEstimate = oe.Value
 	rep.Forced = oe.Forced
-	for x, ok := range oe.Crackable {
-		if ok && oe.Outdeg[x] == 1 {
+	oe.Crackable.ForEach(func(x int) {
+		if oe.Outdeg[x] == 1 {
 			rep.PinnedDown = append(rep.PinnedDown, x)
 		}
-	}
+	})
 	if exact && !rep.Infeasible {
 		v, err := core.ExactExpectedCracksCtx(ctx, g)
 		switch {
